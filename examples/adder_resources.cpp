@@ -1,0 +1,76 @@
+/// \file adder_resources.cpp
+/// \brief Resource accounting for the reversible arithmetic building blocks
+/// (Cuccaro adders, controlled adders, restoring dividers) — the substrate
+/// of the paper's manual baselines, and the kind of component-level cost
+/// table quantum-algorithm designers need when budgeting a datapath.
+
+#include <cstdio>
+
+#include "baseline/arith.hpp"
+#include "baseline/resdiv.hpp"
+#include "reversible/cost.hpp"
+
+int main()
+{
+  using namespace qsyn;
+
+  std::printf( "Reversible arithmetic resource table (Cuccaro ripple-carry [25])\n\n" );
+  std::printf( "%-26s %8s %10s %10s %8s\n", "component", "width", "qubits", "T-count", "depth" );
+
+  for ( const unsigned w : { 4u, 8u, 16u, 32u, 64u } )
+  {
+    // Plain in-place adder b <- a + b.
+    {
+      reversible_circuit c;
+      std::vector<std::uint32_t> a, b;
+      for ( unsigned i = 0; i < w; ++i )
+      {
+        a.push_back( c.add_line( {} ) );
+      }
+      for ( unsigned i = 0; i < w; ++i )
+      {
+        b.push_back( c.add_line( {} ) );
+      }
+      const auto cin = c.add_line( {} );
+      cuccaro_add( c, a, b, cin );
+      const auto rep = report_costs( c );
+      std::printf( "%-26s %8u %10u %10llu %8llu\n", "adder", w, rep.qubits,
+                   static_cast<unsigned long long>( rep.t_count ),
+                   static_cast<unsigned long long>( rep.depth ) );
+    }
+    // Controlled adder (the workhorse of textbook multiplication).
+    {
+      reversible_circuit c;
+      std::vector<std::uint32_t> a, b;
+      for ( unsigned i = 0; i < w; ++i )
+      {
+        a.push_back( c.add_line( {} ) );
+      }
+      for ( unsigned i = 0; i < w; ++i )
+      {
+        b.push_back( c.add_line( {} ) );
+      }
+      const auto cin = c.add_line( {} );
+      const auto ctl = c.add_line( {} );
+      cuccaro_add( c, a, b, cin, std::nullopt, control{ ctl, true } );
+      const auto rep = report_costs( c );
+      std::printf( "%-26s %8u %10u %10llu %8llu\n", "controlled adder", w, rep.qubits,
+                   static_cast<unsigned long long>( rep.t_count ),
+                   static_cast<unsigned long long>( rep.depth ) );
+    }
+    // Restoring divider (quotient + remainder).
+    {
+      const auto res = build_restoring_divider( w );
+      const auto rep = report_costs( res.circuit );
+      std::printf( "%-26s %8u %10u %10llu %8llu\n", "restoring divider", w, rep.qubits,
+                   static_cast<unsigned long long>( rep.t_count ),
+                   static_cast<unsigned long long>( rep.depth ) );
+    }
+  }
+
+  std::printf( "\nObservations: the adder is linear in T (the 2w Toffolis of the\n"
+               "MAJ/UMA ladders), the controlled adder roughly doubles that, and the\n"
+               "divider pays one subtract + one controlled re-add per result bit,\n"
+               "i.e. Theta(w^2) T — the scaling behind Table I's RESDIV column.\n" );
+  return 0;
+}

@@ -1,0 +1,79 @@
+/// \file verilog_to_reversible.cpp
+/// \brief Compile *your own* Verilog into a reversible circuit — the
+/// workflow the paper proposes for quantum-algorithm designers.
+///
+/// Usage:
+///   example_verilog_to_reversible [file.v]
+/// Without an argument a built-in demo module (a 4-bit saturating
+/// subtractor, the kind of small datapath block quantum kernels need) is
+/// compiled through all three flows.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/flows.hpp"
+
+static const char* demo_source = R"(
+// Saturating subtractor: y = (a >= b) ? a - b : 0
+module satsub(input [3:0] a, input [3:0] b, output [3:0] y);
+  wire ge = a >= b;
+  assign y = ge ? a - b : 4'd0;
+endmodule
+)";
+
+int main( int argc, char** argv )
+{
+  using namespace qsyn;
+  std::string source;
+  if ( argc > 1 )
+  {
+    std::ifstream in( argv[1] );
+    if ( !in )
+    {
+      std::fprintf( stderr, "cannot open %s\n", argv[1] );
+      return 1;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    source = buffer.str();
+  }
+  else
+  {
+    source = demo_source;
+    std::printf( "no file given; compiling the built-in demo module:\n%s\n", demo_source );
+  }
+
+  const struct
+  {
+    const char* name;
+    flow_kind kind;
+  } flows[] = {
+      { "functional", flow_kind::functional },
+      { "esop-based", flow_kind::esop_based },
+      { "hierarchical", flow_kind::hierarchical },
+  };
+  std::printf( "%-14s %8s %12s %8s %8s %9s\n", "flow", "qubits", "T-count", "gates", "depth",
+               "verified" );
+  for ( const auto& f : flows )
+  {
+    flow_params params;
+    params.kind = f.kind;
+    try
+    {
+      const auto result = run_flow_on_verilog( source, params );
+      std::printf( "%-14s %8u %12llu %8zu %8llu %9s\n", f.name, result.costs.qubits,
+                   static_cast<unsigned long long>( result.costs.t_count ), result.costs.gates,
+                   static_cast<unsigned long long>( result.costs.depth ),
+                   result.verified ? "yes" : "NO" );
+    }
+    catch ( const std::exception& e )
+    {
+      std::printf( "%-14s failed: %s\n", f.name, e.what() );
+    }
+  }
+  std::printf( "\nTip: the functional flow needs few inputs (explicit synthesis); the\n"
+               "hierarchical flow scales to hundreds of bits.\n" );
+  return 0;
+}

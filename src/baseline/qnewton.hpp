@@ -1,0 +1,49 @@
+/// \file qnewton.hpp
+/// \brief QNEWTON: the manual Newton-Raphson reciprocal baseline
+/// (paper Sec. V, in the spirit of [12], [13]).
+///
+/// The circuit follows the paper's description: bit-shift the input into
+/// [1/2, 1) (Fredkin barrel using a priority-encoded shift amount), run
+/// Newton iterations built from Cuccaro adders [25] and textbook
+/// (controlled-shifted-add) multiplication, then shift back.  The adder /
+/// multiplier precision grows with the iteration index — the "variable
+/// internal precision" that lets QNEWTON use roughly half the qubits of
+/// earlier Newton-style proposals.
+///
+/// Register layout (all LSB-first):
+///   X   (n)      input x, preserved
+///   S   (log n)  left-shift amount s = n-1-i (i = leading-one position)
+///   XP  (n)      normalized x' fraction bits, x' in [1/2, 1)
+///   XI_k(2n+3)   Q3.2n iterates x_0 .. x_I (Bennett ladder, one each)
+///   T1,T2(2n+3)  per-iteration temporaries, uncomputed and reused
+///   Z   (2n+3)   zero pool for constant operands (always restored)
+///   YE  (n)      headroom for the final denormalization shift
+///   cin (1)      adder carry ancilla
+
+#pragma once
+
+#include "../reversible/circuit.hpp"
+
+namespace qsyn
+{
+
+struct qnewton_params
+{
+  /// Newton iteration count; 0 = the paper's schedule
+  /// ceil(log2((n+1)/log2 17)).
+  unsigned iterations = 0;
+  /// Extra guard bits on the per-iteration precision schedule.
+  unsigned guard_bits = 6;
+};
+
+struct qnewton_result
+{
+  reversible_circuit circuit;
+  unsigned iterations = 0;
+};
+
+/// Builds the QNEWTON(n) reciprocal circuit.  Inputs are the n bits of x;
+/// outputs the n fraction bits of y ~ 1/x (LSB first).
+qnewton_result build_qnewton( unsigned n, const qnewton_params& params = {} );
+
+} // namespace qsyn

@@ -1,0 +1,134 @@
+#include "resdiv.hpp"
+
+#include <cassert>
+#include <deque>
+
+#include "arith.hpp"
+
+namespace qsyn
+{
+
+namespace
+{
+
+resdiv_result build_divider( unsigned width, bool constant_dividend, std::uint64_t dividend_value,
+                             unsigned num_divisor_inputs, unsigned num_reciprocal_outputs )
+{
+  const auto w = width;
+  resdiv_result result;
+  auto& circuit = result.circuit;
+
+  // Dividend lines a[0..w-1].
+  for ( unsigned i = 0; i < w; ++i )
+  {
+    line_info info;
+    info.name = "a" + std::to_string( i );
+    if ( constant_dividend )
+    {
+      info.is_constant_input = true;
+      info.constant_value = ( dividend_value >> i ) & 1u;
+    }
+    else
+    {
+      info.is_primary_input = true;
+    }
+    result.dividend_lines.push_back( circuit.add_line( info ) );
+  }
+  // Divisor lines b[0..w-1]; in the reciprocal instance only the low n
+  // lines are variable (x), the rest is the zero extension.
+  for ( unsigned i = 0; i < w; ++i )
+  {
+    line_info info;
+    info.name = "b" + std::to_string( i );
+    if ( i < num_divisor_inputs )
+    {
+      info.is_primary_input = true;
+    }
+    else
+    {
+      info.is_constant_input = true;
+      info.constant_value = false;
+    }
+    result.divisor_lines.push_back( circuit.add_line( info ) );
+  }
+  // Remainder window ancillae (w+1 zero lines), plus the shared carry-in
+  // and the divisor top-extension zero line.
+  std::deque<std::uint32_t> window;
+  for ( unsigned i = 0; i <= w; ++i )
+  {
+    line_info info;
+    info.name = "r" + std::to_string( i );
+    info.is_constant_input = true;
+    info.constant_value = false;
+    window.push_back( circuit.add_line( info ) );
+  }
+  line_info cin_info;
+  cin_info.name = "cin";
+  cin_info.is_constant_input = true;
+  const auto cin = circuit.add_line( cin_info );
+  line_info bz_info;
+  bz_info.name = "bz";
+  bz_info.is_constant_input = true;
+  const auto b_zero = circuit.add_line( bz_info );
+
+  std::vector<std::uint32_t> b_ext = result.divisor_lines;
+  b_ext.push_back( b_zero );
+
+  result.quotient_lines.assign( w, 0u );
+  for ( unsigned step = 0; step < w; ++step )
+  {
+    const unsigned bit = w - 1u - step;
+    // Shift: drop the (zero) top window line, bring in dividend bit `bit`.
+    const auto freed = window.back();
+    window.pop_back();
+    window.push_front( result.dividend_lines[bit] );
+    const std::vector<std::uint32_t> r_lines( window.begin(), window.end() );
+    // Trial subtraction R -= B.
+    cuccaro_subtract( circuit, b_ext, r_lines, cin );
+    // Quotient bit = NOT sign.
+    const auto sign = r_lines.back();
+    circuit.add_cnot( sign, freed );
+    circuit.add_not( freed );
+    result.quotient_lines[bit] = freed;
+    // Restore when the quotient bit is 0 (negative result).
+    cuccaro_add( circuit, b_ext, r_lines, cin, std::nullopt, control{ freed, false } );
+  }
+  // Remainder: the low w window lines (the top line is 0 again).
+  result.remainder_lines.assign( window.begin(), window.begin() + w );
+
+  // Output/garbage annotations.
+  if ( num_reciprocal_outputs > 0 )
+  {
+    for ( unsigned i = 0; i < num_reciprocal_outputs; ++i )
+    {
+      circuit.line( result.quotient_lines[i] ).output_index = static_cast<int>( i );
+      circuit.line( result.quotient_lines[i] ).is_garbage = false;
+    }
+  }
+  else
+  {
+    for ( unsigned i = 0; i < w; ++i )
+    {
+      circuit.line( result.quotient_lines[i] ).output_index = static_cast<int>( i );
+      circuit.line( result.quotient_lines[i] ).is_garbage = false;
+      circuit.line( result.remainder_lines[i] ).output_index = static_cast<int>( w + i );
+      circuit.line( result.remainder_lines[i] ).is_garbage = false;
+    }
+  }
+  return result;
+}
+
+} // namespace
+
+resdiv_result build_restoring_divider( unsigned width )
+{
+  return build_divider( width, false, 0u, width, 0u );
+}
+
+resdiv_result build_resdiv_reciprocal( unsigned n )
+{
+  // 2n-bit divider computing 2^n / x; y is the low n quotient bits.
+  return build_divider( 2u * n, true, std::uint64_t{ 1 } << n, n, n );
+}
+
+} // namespace qsyn

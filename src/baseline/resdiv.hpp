@@ -1,0 +1,41 @@
+/// \file resdiv.hpp
+/// \brief RESDIV: the manual restoring-division baseline (paper Sec. V,
+/// following Thapliyal et al. [24]).
+///
+/// For w-bit inputs a (dividend) and b (divisor) the circuit computes the
+/// w-bit quotient q and remainder r with a = q*b + r, using the classic
+/// restoring scheme: per step, shift the partial remainder left (free line
+/// relabeling), subtract b, derive the quotient bit from the sign, and
+/// conditionally restore with an inversely-controlled re-addition.  The
+/// freed window line of each step is recycled as the quotient bit, giving
+/// ~3w lines overall.
+///
+/// The paper's RESDIV(n) baseline for the reciprocal instantiates the
+/// divider at 2n bits (a = 2^n, b = x), so Table I reports the 2n-bit
+/// instance.
+
+#pragma once
+
+#include "../reversible/circuit.hpp"
+
+namespace qsyn
+{
+
+struct resdiv_result
+{
+  reversible_circuit circuit;
+  std::vector<std::uint32_t> dividend_lines;  ///< inputs a (consumed)
+  std::vector<std::uint32_t> divisor_lines;   ///< inputs b (preserved)
+  std::vector<std::uint32_t> quotient_lines;  ///< outputs q
+  std::vector<std::uint32_t> remainder_lines; ///< outputs r
+};
+
+/// Builds the w-bit restoring divider.
+resdiv_result build_restoring_divider( unsigned width );
+
+/// Builds the RESDIV(n) reciprocal baseline: the 2n-bit divider with the
+/// dividend preset to the constant 2^n (flagged as constant inputs).
+/// Outputs are the low n quotient bits (the reciprocal fraction y).
+resdiv_result build_resdiv_reciprocal( unsigned n );
+
+} // namespace qsyn

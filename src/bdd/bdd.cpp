@@ -1,0 +1,241 @@
+#include "bdd.hpp"
+
+#include <array>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace qsyn
+{
+
+bdd_manager::bdd_manager( unsigned num_vars ) : num_vars_( num_vars )
+{
+  // Terminals: node 0 = false, node 1 = true.  Their `var` is one past the
+  // last real variable so that terminal tests via variable comparison work.
+  nodes_.push_back( { num_vars_, 0u, 0u } );
+  nodes_.push_back( { num_vars_, 1u, 1u } );
+}
+
+bdd_node bdd_manager::var( unsigned v )
+{
+  assert( v < num_vars_ );
+  return make_node( v, constant( false ), constant( true ) );
+}
+
+bdd_node bdd_manager::make_node( std::uint32_t var, bdd_node lo, bdd_node hi )
+{
+  if ( lo == hi )
+  {
+    return lo;
+  }
+  const std::array<std::uint32_t, 3> key = { var, lo, hi };
+  if ( const auto it = unique_.find( key ); it != unique_.end() )
+  {
+    return it->second;
+  }
+  const auto idx = static_cast<bdd_node>( nodes_.size() );
+  nodes_.push_back( { var, lo, hi } );
+  unique_.emplace( key, idx );
+  return idx;
+}
+
+bdd_node bdd_manager::bdd_not( bdd_node f )
+{
+  return ite( f, constant( false ), constant( true ) );
+}
+
+bdd_node bdd_manager::bdd_and( bdd_node f, bdd_node g )
+{
+  return ite( f, g, constant( false ) );
+}
+
+bdd_node bdd_manager::bdd_or( bdd_node f, bdd_node g )
+{
+  return ite( f, constant( true ), g );
+}
+
+bdd_node bdd_manager::bdd_xor( bdd_node f, bdd_node g )
+{
+  return ite( f, bdd_not( g ), g );
+}
+
+bdd_node bdd_manager::ite( bdd_node f, bdd_node g, bdd_node h )
+{
+  // Terminal cases.
+  if ( f == constant( true ) )
+  {
+    return g;
+  }
+  if ( f == constant( false ) )
+  {
+    return h;
+  }
+  if ( g == h )
+  {
+    return g;
+  }
+  if ( g == constant( true ) && h == constant( false ) )
+  {
+    return f;
+  }
+  const std::array<bdd_node, 3> key = { f, g, h };
+  if ( const auto it = ite_cache_.find( key ); it != ite_cache_.end() )
+  {
+    return it->second;
+  }
+  // Split on the top-most variable among f, g, h.
+  std::uint32_t top = nodes_[f].var;
+  if ( !is_constant( g ) )
+  {
+    top = std::min( top, nodes_[g].var );
+  }
+  if ( !is_constant( h ) )
+  {
+    top = std::min( top, nodes_[h].var );
+  }
+  const auto cof = [&]( bdd_node x, bool pol ) {
+    if ( is_constant( x ) || nodes_[x].var != top )
+    {
+      return x;
+    }
+    return pol ? nodes_[x].hi : nodes_[x].lo;
+  };
+  const auto hi = ite( cof( f, true ), cof( g, true ), cof( h, true ) );
+  const auto lo = ite( cof( f, false ), cof( g, false ), cof( h, false ) );
+  const auto result = make_node( top, lo, hi );
+  ite_cache_.emplace( key, result );
+  return result;
+}
+
+bdd_node bdd_manager::cofactor( bdd_node f, unsigned var, bool polarity )
+{
+  if ( is_constant( f ) || nodes_[f].var > var )
+  {
+    return f;
+  }
+  if ( nodes_[f].var == var )
+  {
+    return polarity ? nodes_[f].hi : nodes_[f].lo;
+  }
+  // nodes_[f].var < var: recurse on both branches.
+  const auto lo = cofactor( nodes_[f].lo, var, polarity );
+  const auto hi = cofactor( nodes_[f].hi, var, polarity );
+  return make_node( nodes_[f].var, lo, hi );
+}
+
+double bdd_manager::sat_count( bdd_node f )
+{
+  if ( f == constant( false ) )
+  {
+    return 0.0;
+  }
+  if ( f == constant( true ) )
+  {
+    return std::ldexp( 1.0, static_cast<int>( num_vars_ ) );
+  }
+  // count_below(g) = satisfying assignments over variables var(g)..num_vars-1;
+  // the cache stores these unscaled values.
+  const auto count_below = [&]( auto&& self, bdd_node g ) -> double {
+    if ( g == constant( false ) )
+    {
+      return 0.0;
+    }
+    if ( g == constant( true ) )
+    {
+      return 1.0;
+    }
+    if ( const auto it = count_cache_.find( g ); it != count_cache_.end() )
+    {
+      return it->second;
+    }
+    const auto v = nodes_[g].var;
+    const auto skip = [&]( bdd_node child ) {
+      const auto child_var = is_constant( child ) ? num_vars_ : nodes_[child].var;
+      return std::ldexp( 1.0, static_cast<int>( child_var - v - 1u ) );
+    };
+    const double result = skip( nodes_[g].lo ) * self( self, nodes_[g].lo ) +
+                          skip( nodes_[g].hi ) * self( self, nodes_[g].hi );
+    count_cache_.emplace( g, result );
+    return result;
+  };
+  const double below = count_below( count_below, f );
+  return std::ldexp( below, static_cast<int>( nodes_[f].var ) );
+}
+
+bool bdd_manager::evaluate( bdd_node f, std::uint64_t input ) const
+{
+  while ( !is_constant( f ) )
+  {
+    const auto v = nodes_[f].var;
+    f = ( ( input >> v ) & 1u ) ? nodes_[f].hi : nodes_[f].lo;
+  }
+  return f == 1u;
+}
+
+std::size_t bdd_manager::size( bdd_node f ) const
+{
+  std::unordered_set<bdd_node> visited;
+  std::vector<bdd_node> stack{ f };
+  while ( !stack.empty() )
+  {
+    const auto g = stack.back();
+    stack.pop_back();
+    if ( is_constant( g ) || visited.count( g ) )
+    {
+      continue;
+    }
+    visited.insert( g );
+    stack.push_back( nodes_[g].lo );
+    stack.push_back( nodes_[g].hi );
+  }
+  return visited.size();
+}
+
+truth_table bdd_manager::to_truth_table( bdd_node f ) const
+{
+  if ( num_vars_ > 20u )
+  {
+    throw std::invalid_argument( "bdd_manager::to_truth_table: too many variables" );
+  }
+  truth_table tt( num_vars_ );
+  for ( std::uint64_t i = 0; i < tt.num_bits(); ++i )
+  {
+    if ( evaluate( f, i ) )
+    {
+      tt.set_bit( i, true );
+    }
+  }
+  return tt;
+}
+
+bdd_node bdd_manager::from_truth_table( const truth_table& tt )
+{
+  assert( tt.num_vars() <= num_vars_ );
+  return from_tt_rec( tt, tt.num_vars() );
+}
+
+bdd_node bdd_manager::from_tt_rec( const truth_table& tt, unsigned var )
+{
+  if ( tt.is_const0() )
+  {
+    return constant( false );
+  }
+  if ( tt.is_const1() )
+  {
+    return constant( true );
+  }
+  assert( var > 0u );
+  // Split on the highest variable so the recursion terminates at constants.
+  const auto lo = from_tt_rec( tt.cofactor( var - 1u, false ), var - 1u );
+  const auto hi = from_tt_rec( tt.cofactor( var - 1u, true ), var - 1u );
+  return make_node( var - 1u, lo, hi );
+}
+
+void bdd_manager::clear_cache()
+{
+  ite_cache_.clear();
+  count_cache_.clear();
+}
+
+} // namespace qsyn

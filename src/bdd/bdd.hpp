@@ -1,0 +1,123 @@
+/// \file bdd.hpp
+/// \brief Reduced ordered binary decision diagrams.
+///
+/// The BDD package backs the symbolic parts of the functional flow
+/// (Sec. IV-A): collapsing an optimized AIG into a functional description
+/// (`collapse` in ABC) and computing the optimum number of additional lines
+/// for the reversible embedding by counting collision-set sizes (Eq. (3),
+/// following [17]).
+///
+/// Classic implementation: unique table with hash consing, ITE with a
+/// computed table, fixed variable order (no reordering — the flows choose
+/// the order explicitly).  No garbage collection; the arena lives as long
+/// as the manager, which matches the short-lived per-flow usage.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "../common/bits.hpp"
+#include "../logic/truth_table.hpp"
+
+namespace qsyn
+{
+
+/// Handle to a BDD node (index into the manager's arena).
+using bdd_node = std::uint32_t;
+
+/// Manager owning all BDD nodes of one decision diagram forest.
+class bdd_manager
+{
+public:
+  /// Creates a manager with `num_vars` variables, ordered by index
+  /// (variable 0 at the top).
+  explicit bdd_manager( unsigned num_vars );
+
+  unsigned num_vars() const { return num_vars_; }
+  /// Total number of live nodes (including the two terminals).
+  std::size_t num_nodes() const { return nodes_.size(); }
+
+  bdd_node constant( bool value ) const { return value ? 1u : 0u; }
+  bool is_constant( bdd_node f ) const { return f <= 1u; }
+
+  /// The single-variable function x_var.
+  bdd_node var( unsigned var );
+  /// Top variable of f (invalid for terminals).
+  unsigned top_var( bdd_node f ) const { return nodes_[f].var; }
+  bdd_node low( bdd_node f ) const { return nodes_[f].lo; }
+  bdd_node high( bdd_node f ) const { return nodes_[f].hi; }
+
+  /// --- Boolean operations -------------------------------------------------
+
+  bdd_node bdd_not( bdd_node f );
+  bdd_node bdd_and( bdd_node f, bdd_node g );
+  bdd_node bdd_or( bdd_node f, bdd_node g );
+  bdd_node bdd_xor( bdd_node f, bdd_node g );
+  bdd_node bdd_xnor( bdd_node f, bdd_node g ) { return bdd_not( bdd_xor( f, g ) ); }
+  /// If-then-else, the universal ternary operator.
+  bdd_node ite( bdd_node f, bdd_node g, bdd_node h );
+
+  /// Cofactor with respect to variable `var` set to `polarity`.
+  bdd_node cofactor( bdd_node f, unsigned var, bool polarity );
+
+  /// --- queries --------------------------------------------------------------
+
+  /// Number of satisfying assignments over all num_vars() variables.
+  /// Exact for results below 2^53 (double mantissa).
+  double sat_count( bdd_node f );
+
+  /// Evaluates f on an assignment (bit i of `input` = variable i).
+  bool evaluate( bdd_node f, std::uint64_t input ) const;
+
+  /// Number of nodes in the (shared) subgraph rooted at f.
+  std::size_t size( bdd_node f ) const;
+
+  /// Explicit truth table of f (requires num_vars() <= 20).
+  truth_table to_truth_table( bdd_node f ) const;
+
+  /// Builds a BDD from an explicit truth table defined over this manager's
+  /// variables 0..tt.num_vars()-1.
+  bdd_node from_truth_table( const truth_table& tt );
+
+  /// Clears the computed table (useful between large operations to bound
+  /// memory).
+  void clear_cache();
+
+private:
+  struct node_data
+  {
+    std::uint32_t var;
+    bdd_node lo;
+    bdd_node hi;
+  };
+
+  struct unique_key_hash
+  {
+    std::size_t operator()( const std::array<std::uint32_t, 3>& k ) const
+    {
+      return hash_combine( hash_combine( k[0], k[1] ), k[2] );
+    }
+  };
+
+  struct ite_key_hash
+  {
+    std::size_t operator()( const std::array<bdd_node, 3>& k ) const
+    {
+      return hash_combine( hash_combine( k[0], k[1] ), k[2] );
+    }
+  };
+
+  bdd_node make_node( std::uint32_t var, bdd_node lo, bdd_node hi );
+  bdd_node from_tt_rec( const truth_table& tt, unsigned var );
+
+  unsigned num_vars_;
+  std::vector<node_data> nodes_;
+  std::unordered_map<std::array<std::uint32_t, 3>, bdd_node, unique_key_hash> unique_;
+  std::unordered_map<std::array<bdd_node, 3>, bdd_node, ite_key_hash> ite_cache_;
+  std::unordered_map<bdd_node, double> count_cache_;
+};
+
+} // namespace qsyn

@@ -1,0 +1,35 @@
+/// \file timer.hpp
+/// \brief Wall-clock stopwatch used to report flow runtimes, mirroring the
+/// per-row runtime column of the paper's tables.
+
+#pragma once
+
+#include <chrono>
+
+namespace qsyn
+{
+
+/// Simple monotonic stopwatch.  Construction starts the clock.
+class stopwatch
+{
+public:
+  stopwatch() : start_{ clock::now() } {}
+
+  /// Seconds elapsed since construction or the last restart().
+  double elapsed_seconds() const
+  {
+    return std::chrono::duration<double>( clock::now() - start_ ).count();
+  }
+
+  /// Restart the stopwatch.
+  void restart()
+  {
+    start_ = clock::now();
+  }
+
+private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+} // namespace qsyn

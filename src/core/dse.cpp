@@ -1,0 +1,123 @@
+#include "dse.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace qsyn
+{
+
+std::vector<flow_params> default_dse_configurations( bool include_functional )
+{
+  std::vector<flow_params> configs;
+  if ( include_functional )
+  {
+    flow_params functional;
+    functional.kind = flow_kind::functional;
+    configs.push_back( functional );
+  }
+  for ( unsigned p = 0; p <= 2u; ++p )
+  {
+    flow_params esop;
+    esop.kind = flow_kind::esop_based;
+    esop.esop_p = p;
+    configs.push_back( esop );
+  }
+  for ( const auto cleanup :
+        { cleanup_strategy::keep_garbage, cleanup_strategy::bennett, cleanup_strategy::eager } )
+  {
+    flow_params hier;
+    hier.kind = flow_kind::hierarchical;
+    hier.cleanup = cleanup;
+    configs.push_back( hier );
+  }
+  return configs;
+}
+
+std::string dse_label( const flow_params& params )
+{
+  switch ( params.kind )
+  {
+  case flow_kind::functional:
+    return params.bidirectional_tbs ? "functional(tbs,bidir)" : "functional(tbs,uni)";
+  case flow_kind::esop_based:
+    return "esop(p=" + std::to_string( params.esop_p ) + ")";
+  case flow_kind::hierarchical:
+    switch ( params.cleanup )
+    {
+    case cleanup_strategy::keep_garbage:
+      return "hierarchical(garbage)";
+    case cleanup_strategy::bennett:
+      return "hierarchical(bennett)";
+    case cleanup_strategy::eager:
+      return "hierarchical(eager)";
+    }
+  }
+  return "unknown";
+}
+
+std::vector<dse_point> explore( const aig_network& aig, const std::vector<flow_params>& configs )
+{
+  std::vector<dse_point> points;
+  points.reserve( configs.size() );
+  for ( const auto& params : configs )
+  {
+    dse_point point;
+    point.label = dse_label( params );
+    point.params = params;
+    point.result = run_flow_on_aig( aig, params );
+    points.push_back( std::move( point ) );
+  }
+  return points;
+}
+
+std::vector<std::size_t> pareto_front( const std::vector<dse_point>& points )
+{
+  std::vector<std::size_t> front;
+  for ( std::size_t i = 0; i < points.size(); ++i )
+  {
+    bool dominated = false;
+    for ( std::size_t j = 0; j < points.size(); ++j )
+    {
+      if ( i == j )
+      {
+        continue;
+      }
+      const auto& a = points[j].result.costs;
+      const auto& b = points[i].result.costs;
+      const bool no_worse = a.qubits <= b.qubits && a.t_count <= b.t_count;
+      const bool better = a.qubits < b.qubits || a.t_count < b.t_count;
+      if ( no_worse && better )
+      {
+        dominated = true;
+        break;
+      }
+    }
+    if ( !dominated )
+    {
+      front.push_back( i );
+    }
+  }
+  return front;
+}
+
+std::string format_dse_table( const std::vector<dse_point>& points )
+{
+  const auto front = pareto_front( points );
+  std::ostringstream os;
+  os << std::left << std::setw( 24 ) << "configuration" << std::right << std::setw( 8 )
+     << "qubits" << std::setw( 14 ) << "T-count" << std::setw( 10 ) << "gates" << std::setw( 10 )
+     << "runtime" << "  pareto\n";
+  for ( std::size_t i = 0; i < points.size(); ++i )
+  {
+    const auto& p = points[i];
+    const bool on_front = std::find( front.begin(), front.end(), i ) != front.end();
+    os << std::left << std::setw( 24 ) << p.label << std::right << std::setw( 8 )
+       << p.result.costs.qubits << std::setw( 14 ) << p.result.costs.t_count << std::setw( 10 )
+       << p.result.costs.gates << std::setw( 9 ) << std::fixed << std::setprecision( 2 )
+       << p.result.runtime_seconds << "s" << ( on_front ? "  *" : "" ) << "\n";
+  }
+  return os.str();
+}
+
+} // namespace qsyn

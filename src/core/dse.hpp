@@ -1,0 +1,45 @@
+/// \file dse.hpp
+/// \brief Design space exploration across flows and parameters.
+///
+/// "The various algorithms used both in classical and reversible logic
+/// synthesis enable nontrivial design space exploration" — this module runs
+/// a configurable set of flow configurations on one design and reports the
+/// full result list plus the Pareto frontier in the (qubits, T-count)
+/// plane, the two cost metrics the paper trades off.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "flows.hpp"
+
+namespace qsyn
+{
+
+/// One explored configuration and its outcome.
+struct dse_point
+{
+  std::string label;
+  flow_params params;
+  flow_result result;
+};
+
+/// The default configuration sweep: functional, ESOP p=0/1/2, hierarchical
+/// with each cleanup strategy.  `include_functional` can be disabled for
+/// bitwidths beyond the explicit-synthesis range.
+std::vector<flow_params> default_dse_configurations( bool include_functional = true );
+
+std::string dse_label( const flow_params& params );
+
+/// Runs all configurations on a design AIG.
+std::vector<dse_point> explore( const aig_network& aig, const std::vector<flow_params>& configs );
+
+/// Indices of the Pareto-optimal points (minimizing qubits and T-count).
+std::vector<std::size_t> pareto_front( const std::vector<dse_point>& points );
+
+/// Formats the exploration as a table (one row per point, '*' marking the
+/// Pareto frontier).
+std::string format_dse_table( const std::vector<dse_point>& points );
+
+} // namespace qsyn

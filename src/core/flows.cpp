@@ -1,0 +1,151 @@
+#include "flows.hpp"
+
+#include <stdexcept>
+
+#include "../common/timer.hpp"
+#include "../embed/embedding.hpp"
+#include "../reversible/verify.hpp"
+#include "../synth/aig_optimize.hpp"
+#include "../synth/collapse.hpp"
+#include "../synth/esop_extract.hpp"
+#include "../synth/exorcism.hpp"
+#include "../synth/xmg_resynth.hpp"
+#include "../verilog/elaborator.hpp"
+#include "../verilog/generators.hpp"
+
+namespace qsyn
+{
+
+namespace
+{
+
+/// Functional flow: collapse to truth tables, optimum embedding, TBS.
+/// The input variables are placed on the low lines, the outputs on the
+/// high lines (the embedding's layout); line metadata reflects Eq. (1).
+flow_result run_functional( const aig_network& aig, const flow_params& params )
+{
+  flow_result result;
+  const auto tts = collapse_to_truth_tables( aig );
+  auto embedding = embed_optimum( tts );
+  result.embedding_lines = embedding.num_lines;
+  result.max_collisions = embedding.max_collisions;
+
+  tbs_params tparams;
+  tparams.bidirectional = params.bidirectional_tbs;
+  result.circuit = tbs_synthesize( std::move( embedding.permutation ), tparams );
+
+  // Line metadata: inputs on the low n lines, outputs on the high m lines.
+  const auto r = embedding.num_lines;
+  const auto n = embedding.num_inputs;
+  const auto m = embedding.num_outputs;
+  for ( unsigned l = 0; l < r; ++l )
+  {
+    auto& info = result.circuit.line( l );
+    info.name = "l" + std::to_string( l );
+    if ( l < n )
+    {
+      info.is_primary_input = true;
+    }
+    else
+    {
+      info.is_constant_input = true;
+      info.constant_value = false;
+    }
+    if ( l >= r - m )
+    {
+      info.output_index = static_cast<int>( l - ( r - m ) );
+      info.is_garbage = false;
+    }
+  }
+  if ( params.verify )
+  {
+    result.verified = verify_against_truth_tables( result.circuit, tts );
+  }
+  return result;
+}
+
+/// ESOP flow: extract, minimize, synthesize.
+flow_result run_esop( const aig_network& aig, const flow_params& params )
+{
+  flow_result result;
+  auto expression = esop_from_aig( aig );
+  if ( params.run_exorcism )
+  {
+    exorcism( expression );
+  }
+  result.esop_terms = expression.num_terms();
+  esop_synth_params sparams;
+  sparams.p = params.esop_p;
+  result.circuit = esop_synthesize( expression, sparams );
+  if ( params.verify )
+  {
+    const auto cex = verify_against_aig_sampled( result.circuit, aig );
+    result.verified = !cex.has_value();
+  }
+  return result;
+}
+
+/// Hierarchical flow: LUT map + XMG resynthesis + hierarchical synthesis.
+flow_result run_hierarchical( const aig_network& aig, const flow_params& params )
+{
+  flow_result result;
+  xmg_resynth_stats xstats;
+  const auto xmg = xmg_from_aig( aig, 4u, &xstats );
+  result.xmg_maj = xmg.num_maj();
+  result.xmg_xor = xmg.num_xor();
+  hierarchical_params hparams;
+  hparams.cleanup = params.cleanup;
+  result.circuit = hierarchical_synthesize( xmg, hparams );
+  if ( params.verify )
+  {
+    const auto cex = verify_against_aig_sampled( result.circuit, aig );
+    result.verified = !cex.has_value();
+  }
+  return result;
+}
+
+} // namespace
+
+flow_result run_flow_on_aig( const aig_network& aig, const flow_params& params )
+{
+  stopwatch watch;
+  auto optimized = optimize( aig, params.optimization_rounds );
+
+  flow_result result;
+  switch ( params.kind )
+  {
+  case flow_kind::functional:
+    result = run_functional( optimized, params );
+    break;
+  case flow_kind::esop_based:
+    result = run_esop( optimized, params );
+    break;
+  case flow_kind::hierarchical:
+    result = run_hierarchical( optimized, params );
+    break;
+  }
+  result.aig_nodes_initial = aig.num_ands();
+  result.aig_nodes_optimized = optimized.num_ands();
+  result.costs = report_costs( result.circuit );
+  result.runtime_seconds = watch.elapsed_seconds();
+  return result;
+}
+
+flow_result run_flow_on_verilog( const std::string& verilog_source, const flow_params& params )
+{
+  const auto elaborated = verilog::elaborate_verilog( verilog_source );
+  return run_flow_on_aig( elaborated.aig, params );
+}
+
+std::string reciprocal_verilog( reciprocal_design design, unsigned n )
+{
+  return design == reciprocal_design::intdiv ? verilog::generate_intdiv( n )
+                                             : verilog::generate_newton( n );
+}
+
+flow_result run_reciprocal_flow( reciprocal_design design, unsigned n, const flow_params& params )
+{
+  return run_flow_on_verilog( reciprocal_verilog( design, n ), params );
+}
+
+} // namespace qsyn

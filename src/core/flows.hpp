@@ -1,0 +1,90 @@
+/// \file flows.hpp
+/// \brief The paper's design flows (Sec. IV, Fig. 1): Verilog in, reversible
+/// circuit out, with selectable reversible synthesis back-end.
+///
+/// Every flow passes the four levels of Fig. 1:
+///   design level      — Verilog text (INTDIV(n) / NEWTON(n) generators or
+///                       user-supplied source),
+///   logic synthesis   — elaboration to an AIG + dc2-style optimization,
+///                       then conversion to the back-end's input format
+///                       (truth table/BDD, ESOP, or XMG),
+///   reversible synth  — functional (TBS over an optimum embedding),
+///                       ESOP-based (REVS, parameter p), or hierarchical
+///                       (XMG, cleanup strategy),
+///   quantum level     — qubit / T-count accounting (cost model, cost.hpp).
+///
+/// The flow result carries the reversible circuit, the cost report, the
+/// runtime, and intermediate statistics — everything the paper's tables
+/// report, so the bench binaries are thin wrappers around run_flow().
+
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "../logic/aig.hpp"
+#include "../reversible/circuit.hpp"
+#include "../reversible/cost.hpp"
+#include "../rsynth/esop_synth.hpp"
+#include "../rsynth/hierarchical.hpp"
+#include "../rsynth/tbs.hpp"
+
+namespace qsyn
+{
+
+/// Which design to generate at the design level.
+enum class reciprocal_design
+{
+  intdiv,
+  newton
+};
+
+/// Which reversible synthesis back-end to use.
+enum class flow_kind
+{
+  functional,   ///< Sec. IV-A: collapse + optimum embedding + TBS
+  esop_based,   ///< Sec. IV-B: ESOP + exorcism + REVS-style synthesis
+  hierarchical  ///< Sec. IV-C: LUT map + XMG + hierarchical synthesis
+};
+
+struct flow_params
+{
+  flow_kind kind = flow_kind::hierarchical;
+  unsigned optimization_rounds = 2; ///< dc2-style rounds on the AIG
+  bool run_exorcism = true;         ///< ESOP flow: minimize cube list
+  unsigned esop_p = 0;              ///< ESOP flow: REVS factoring parameter
+  cleanup_strategy cleanup = cleanup_strategy::keep_garbage; ///< hierarchical
+  bool bidirectional_tbs = true;    ///< functional flow
+  bool verify = true;               ///< check result against the AIG
+};
+
+struct flow_result
+{
+  reversible_circuit circuit;
+  cost_report costs;
+  double runtime_seconds = 0.0;
+  bool verified = false;
+
+  /// Intermediate statistics.
+  std::size_t aig_nodes_initial = 0;
+  std::size_t aig_nodes_optimized = 0;
+  std::size_t esop_terms = 0;        ///< ESOP flow
+  std::size_t xmg_maj = 0;           ///< hierarchical flow
+  std::size_t xmg_xor = 0;           ///< hierarchical flow
+  unsigned embedding_lines = 0;      ///< functional flow (optimum r)
+  std::uint64_t max_collisions = 0;  ///< functional flow (mu)
+};
+
+/// Runs a flow on an already-elaborated AIG.
+flow_result run_flow_on_aig( const aig_network& aig, const flow_params& params );
+
+/// Runs a flow on Verilog source (parse, elaborate, optimize, synthesize).
+flow_result run_flow_on_verilog( const std::string& verilog_source, const flow_params& params );
+
+/// Runs a flow on one of the paper's reciprocal designs.
+flow_result run_reciprocal_flow( reciprocal_design design, unsigned n, const flow_params& params );
+
+/// Verilog source of a reciprocal design (generator passthrough).
+std::string reciprocal_verilog( reciprocal_design design, unsigned n );
+
+} // namespace qsyn

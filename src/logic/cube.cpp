@@ -1,0 +1,109 @@
+#include "cube.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+namespace qsyn
+{
+
+truth_table cube::to_truth_table( unsigned num_vars ) const
+{
+  auto tt = truth_table::constant( num_vars, true );
+  for ( unsigned v = 0; v < num_vars; ++v )
+  {
+    if ( has_var( v ) )
+    {
+      const auto proj = truth_table::projection( num_vars, v );
+      tt &= var_polarity( v ) ? proj : ~proj;
+    }
+  }
+  return tt;
+}
+
+std::string cube::to_string( unsigned num_vars ) const
+{
+  if ( mask == 0u )
+  {
+    return "1";
+  }
+  std::string s;
+  for ( unsigned v = 0; v < num_vars && v < 64u; ++v )
+  {
+    if ( !has_var( v ) )
+    {
+      continue;
+    }
+    if ( !s.empty() )
+    {
+      s += ' ';
+    }
+    if ( !var_polarity( v ) )
+    {
+      s += '!';
+    }
+    s += 'x';
+    s += std::to_string( v );
+  }
+  return s;
+}
+
+std::size_t esop::num_literals() const
+{
+  std::size_t count = 0;
+  for ( const auto& term : terms )
+  {
+    count += static_cast<std::size_t>( term.product.num_literals() ) *
+             static_cast<std::size_t>( popcount64( term.output_mask ) );
+  }
+  return count;
+}
+
+bool esop::evaluate( std::uint64_t input, unsigned output ) const
+{
+  assert( output < num_outputs );
+  bool value = false;
+  for ( const auto& term : terms )
+  {
+    if ( ( ( term.output_mask >> output ) & 1u ) && term.product.evaluate( input ) )
+    {
+      value = !value;
+    }
+  }
+  return value;
+}
+
+truth_table esop::output_truth_table( unsigned output ) const
+{
+  assert( output < num_outputs );
+  truth_table tt( num_inputs );
+  for ( const auto& term : terms )
+  {
+    if ( ( term.output_mask >> output ) & 1u )
+    {
+      tt ^= term.product.to_truth_table( num_inputs );
+    }
+  }
+  return tt;
+}
+
+std::size_t esop::merge_identical_cubes()
+{
+  std::map<cube, std::uint64_t> merged;
+  for ( const auto& term : terms )
+  {
+    merged[term.product] ^= term.output_mask;
+  }
+  const auto before = terms.size();
+  terms.clear();
+  for ( const auto& [product, output_mask] : merged )
+  {
+    if ( output_mask != 0u )
+    {
+      terms.push_back( { product, output_mask } );
+    }
+  }
+  return before - terms.size();
+}
+
+} // namespace qsyn

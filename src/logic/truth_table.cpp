@@ -1,0 +1,320 @@
+#include "truth_table.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace qsyn
+{
+
+truth_table::truth_table( unsigned num_vars )
+    : num_vars_( num_vars ), blocks_( num_blocks_for( num_vars ), 0u )
+{
+}
+
+bool truth_table::get_bit( std::uint64_t index ) const
+{
+  assert( index < num_bits() );
+  return ( blocks_[index >> 6] >> ( index & 63u ) ) & 1u;
+}
+
+void truth_table::set_bit( std::uint64_t index, bool value )
+{
+  assert( index < num_bits() );
+  if ( value )
+  {
+    blocks_[index >> 6] |= std::uint64_t{ 1 } << ( index & 63u );
+  }
+  else
+  {
+    blocks_[index >> 6] &= ~( std::uint64_t{ 1 } << ( index & 63u ) );
+  }
+}
+
+std::uint64_t truth_table::count_ones() const
+{
+  std::uint64_t count = 0;
+  for ( auto b : blocks_ )
+  {
+    count += static_cast<std::uint64_t>( popcount64( b ) );
+  }
+  return count;
+}
+
+bool truth_table::is_const0() const
+{
+  for ( auto b : blocks_ )
+  {
+    if ( b != 0u )
+    {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool truth_table::is_const1() const
+{
+  const auto mask = block_mask( num_vars_ );
+  if ( blocks_.size() == 1u )
+  {
+    return blocks_[0] == mask;
+  }
+  for ( auto b : blocks_ )
+  {
+    if ( b != ~std::uint64_t{ 0 } )
+    {
+      return false;
+    }
+  }
+  return true;
+}
+
+truth_table truth_table::projection( unsigned num_vars, unsigned var )
+{
+  assert( var < num_vars );
+  truth_table tt( num_vars );
+  if ( var < 6u )
+  {
+    const auto pattern = projections[var];
+    for ( auto& b : tt.blocks_ )
+    {
+      b = pattern;
+    }
+  }
+  else
+  {
+    // Variable var toggles every 2^(var-6) blocks.
+    const std::size_t period = std::size_t{ 1 } << ( var - 6u );
+    for ( std::size_t i = 0; i < tt.blocks_.size(); ++i )
+    {
+      tt.blocks_[i] = ( ( i / period ) & 1u ) ? ~std::uint64_t{ 0 } : 0u;
+    }
+  }
+  tt.mask_off_unused();
+  return tt;
+}
+
+truth_table truth_table::constant( unsigned num_vars, bool value )
+{
+  truth_table tt( num_vars );
+  if ( value )
+  {
+    for ( auto& b : tt.blocks_ )
+    {
+      b = ~std::uint64_t{ 0 };
+    }
+    tt.mask_off_unused();
+  }
+  return tt;
+}
+
+truth_table truth_table::from_binary_string( const std::string& s )
+{
+  if ( s.empty() || !is_power_of_two( s.size() ) )
+  {
+    throw std::invalid_argument( "truth_table::from_binary_string: length must be a power of two" );
+  }
+  const unsigned num_vars = ceil_log2( s.size() );
+  truth_table tt( num_vars );
+  for ( std::size_t i = 0; i < s.size(); ++i )
+  {
+    const char c = s[s.size() - 1u - i];
+    if ( c == '1' )
+    {
+      tt.set_bit( i, true );
+    }
+    else if ( c != '0' )
+    {
+      throw std::invalid_argument( "truth_table::from_binary_string: invalid character" );
+    }
+  }
+  return tt;
+}
+
+truth_table truth_table::operator~() const
+{
+  truth_table result( num_vars_ );
+  for ( std::size_t i = 0; i < blocks_.size(); ++i )
+  {
+    result.blocks_[i] = ~blocks_[i];
+  }
+  result.mask_off_unused();
+  return result;
+}
+
+truth_table truth_table::operator&( const truth_table& other ) const
+{
+  truth_table result = *this;
+  result &= other;
+  return result;
+}
+
+truth_table truth_table::operator|( const truth_table& other ) const
+{
+  truth_table result = *this;
+  result |= other;
+  return result;
+}
+
+truth_table truth_table::operator^( const truth_table& other ) const
+{
+  truth_table result = *this;
+  result ^= other;
+  return result;
+}
+
+bool truth_table::operator==( const truth_table& other ) const
+{
+  return num_vars_ == other.num_vars_ && blocks_ == other.blocks_;
+}
+
+truth_table& truth_table::operator&=( const truth_table& other )
+{
+  assert( num_vars_ == other.num_vars_ );
+  for ( std::size_t i = 0; i < blocks_.size(); ++i )
+  {
+    blocks_[i] &= other.blocks_[i];
+  }
+  return *this;
+}
+
+truth_table& truth_table::operator|=( const truth_table& other )
+{
+  assert( num_vars_ == other.num_vars_ );
+  for ( std::size_t i = 0; i < blocks_.size(); ++i )
+  {
+    blocks_[i] |= other.blocks_[i];
+  }
+  return *this;
+}
+
+truth_table& truth_table::operator^=( const truth_table& other )
+{
+  assert( num_vars_ == other.num_vars_ );
+  for ( std::size_t i = 0; i < blocks_.size(); ++i )
+  {
+    blocks_[i] ^= other.blocks_[i];
+  }
+  return *this;
+}
+
+truth_table truth_table::cofactor( unsigned var, bool polarity ) const
+{
+  assert( var < num_vars_ );
+  truth_table result( num_vars_ );
+  if ( var < 6u )
+  {
+    const auto proj = projections[var];
+    const auto keep = polarity ? proj : ~proj;
+    const unsigned shift = 1u << var;
+    for ( std::size_t i = 0; i < blocks_.size(); ++i )
+    {
+      const auto selected = blocks_[i] & keep;
+      result.blocks_[i] = polarity ? ( selected | ( selected >> shift ) )
+                                   : ( selected | ( selected << shift ) );
+    }
+  }
+  else
+  {
+    const std::size_t period = std::size_t{ 1 } << ( var - 6u );
+    for ( std::size_t i = 0; i < blocks_.size(); ++i )
+    {
+      const bool upper = ( i / period ) & 1u;
+      const std::size_t partner = upper ? i - period : i + period;
+      result.blocks_[i] = ( upper == polarity ) ? blocks_[i] : blocks_[partner];
+    }
+  }
+  result.mask_off_unused();
+  return result;
+}
+
+bool truth_table::depends_on( unsigned var ) const
+{
+  return cofactor( var, false ) != cofactor( var, true );
+}
+
+std::vector<unsigned> truth_table::support() const
+{
+  std::vector<unsigned> vars;
+  for ( unsigned v = 0; v < num_vars_; ++v )
+  {
+    if ( depends_on( v ) )
+    {
+      vars.push_back( v );
+    }
+  }
+  return vars;
+}
+
+truth_table truth_table::shrink_to_support( std::vector<unsigned>* var_map ) const
+{
+  const auto vars = support();
+  if ( var_map )
+  {
+    *var_map = vars;
+  }
+  truth_table result( static_cast<unsigned>( vars.size() ) );
+  for ( std::uint64_t i = 0; i < result.num_bits(); ++i )
+  {
+    std::uint64_t full = 0;
+    for ( std::size_t v = 0; v < vars.size(); ++v )
+    {
+      if ( ( i >> v ) & 1u )
+      {
+        full |= std::uint64_t{ 1 } << vars[v];
+      }
+    }
+    if ( get_bit( full ) )
+    {
+      result.set_bit( i, true );
+    }
+  }
+  return result;
+}
+
+std::string truth_table::to_hex() const
+{
+  static const char* digits = "0123456789abcdef";
+  const std::size_t num_digits =
+      num_vars_ <= 2u ? 1u : ( std::size_t{ 1 } << ( num_vars_ - 2u ) );
+  std::string s( num_digits, '0' );
+  for ( std::size_t d = 0; d < num_digits; ++d )
+  {
+    const auto nibble = ( blocks_[d >> 4] >> ( ( d & 15u ) * 4u ) ) & 0xfu;
+    s[num_digits - 1u - d] = digits[nibble];
+  }
+  return s;
+}
+
+std::string truth_table::to_binary() const
+{
+  std::string s( num_bits(), '0' );
+  for ( std::uint64_t i = 0; i < num_bits(); ++i )
+  {
+    if ( get_bit( i ) )
+    {
+      s[num_bits() - 1u - i] = '1';
+    }
+  }
+  return s;
+}
+
+std::size_t truth_table::hash() const
+{
+  std::size_t seed = num_vars_;
+  for ( auto b : blocks_ )
+  {
+    seed = hash_combine( seed, static_cast<std::size_t>( b ) );
+  }
+  return seed;
+}
+
+void truth_table::mask_off_unused()
+{
+  if ( num_vars_ < 6u )
+  {
+    blocks_[0] &= block_mask( num_vars_ );
+  }
+}
+
+} // namespace qsyn

@@ -1,0 +1,125 @@
+/// \file truth_table.hpp
+/// \brief Dynamic truth tables over up to ~26 variables.
+///
+/// Truth tables are the explicit function representation used by the
+/// functional reversible synthesis flow (Sec. IV-A of the paper) and by the
+/// small-function resynthesis engines (ISOP refactoring, PSDKRO ESOP
+/// extraction, xmglut-style LUT resynthesis).  Bit i of the table stores
+/// f(x) for the input assignment x whose binary encoding is i, with
+/// variable 0 being the least significant input.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "../common/bits.hpp"
+
+namespace qsyn
+{
+
+/// A Boolean function of `num_vars()` variables stored as an explicit bit
+/// vector of length 2^num_vars.
+class truth_table
+{
+public:
+  /// Constructs the constant-0 function over `num_vars` variables.
+  explicit truth_table( unsigned num_vars = 0u );
+
+  unsigned num_vars() const { return num_vars_; }
+  std::uint64_t num_bits() const { return std::uint64_t{ 1 } << num_vars_; }
+
+  /// Raw 64-bit blocks (LSB-first).  Unused high bits of the last block are
+  /// kept zero by all operations.
+  const std::vector<std::uint64_t>& blocks() const { return blocks_; }
+  std::vector<std::uint64_t>& blocks() { return blocks_; }
+
+  bool get_bit( std::uint64_t index ) const;
+  void set_bit( std::uint64_t index, bool value );
+
+  /// Number of ones in the table (the function's on-set size).
+  std::uint64_t count_ones() const;
+
+  bool is_const0() const;
+  bool is_const1() const;
+
+  /// --- constructions -----------------------------------------------------
+
+  /// The i-th projection variable x_i as a function of `num_vars` variables.
+  static truth_table projection( unsigned num_vars, unsigned var );
+  /// Constant function.
+  static truth_table constant( unsigned num_vars, bool value );
+  /// Parses a binary string "1011..." with bit 0 rightmost; length must be a
+  /// power of two.
+  static truth_table from_binary_string( const std::string& s );
+  /// Builds a table from a per-index predicate.
+  template<typename Fn>
+  static truth_table from_function( unsigned num_vars, Fn&& fn )
+  {
+    truth_table tt( num_vars );
+    for ( std::uint64_t i = 0; i < tt.num_bits(); ++i )
+    {
+      if ( fn( i ) )
+      {
+        tt.set_bit( i, true );
+      }
+    }
+    return tt;
+  }
+
+  /// --- operations --------------------------------------------------------
+
+  truth_table operator~() const;
+  truth_table operator&( const truth_table& other ) const;
+  truth_table operator|( const truth_table& other ) const;
+  truth_table operator^( const truth_table& other ) const;
+  bool operator==( const truth_table& other ) const;
+  bool operator!=( const truth_table& other ) const { return !( *this == other ); }
+
+  truth_table& operator&=( const truth_table& other );
+  truth_table& operator|=( const truth_table& other );
+  truth_table& operator^=( const truth_table& other );
+
+  /// Positive/negative cofactor with respect to variable `var`; the result
+  /// still has num_vars variables (the cofactored variable becomes don't
+  /// care and is duplicated).
+  truth_table cofactor( unsigned var, bool polarity ) const;
+
+  /// True if the function depends on variable `var`.
+  bool depends_on( unsigned var ) const;
+
+  /// Support of the function as a list of variable indices.
+  std::vector<unsigned> support() const;
+
+  /// Shrinks the table to exactly its support variables (order preserved);
+  /// `var_map`, if non-null, receives for each new variable the original
+  /// variable index.
+  truth_table shrink_to_support( std::vector<unsigned>* var_map = nullptr ) const;
+
+  /// Evaluates the function on the given input assignment (bit i of `input`
+  /// is variable i).
+  bool evaluate( std::uint64_t input ) const { return get_bit( input ); }
+
+  /// Hex string, most significant block first (kitty-style).
+  std::string to_hex() const;
+  /// Binary string, index 2^n-1 leftmost.
+  std::string to_binary() const;
+
+  /// FNV-style hash for use in unordered containers / memo tables.
+  std::size_t hash() const;
+
+private:
+  void mask_off_unused();
+
+  unsigned num_vars_;
+  std::vector<std::uint64_t> blocks_;
+};
+
+/// Hash functor for truth tables.
+struct truth_table_hash
+{
+  std::size_t operator()( const truth_table& tt ) const { return tt.hash(); }
+};
+
+} // namespace qsyn

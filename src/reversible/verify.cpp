@@ -1,0 +1,152 @@
+#include "verify.hpp"
+
+#include <random>
+#include <stdexcept>
+
+namespace qsyn
+{
+
+std::vector<std::uint32_t> input_lines_of( const reversible_circuit& circuit )
+{
+  std::vector<std::uint32_t> lines;
+  for ( unsigned l = 0; l < circuit.num_lines(); ++l )
+  {
+    if ( circuit.line( l ).is_primary_input )
+    {
+      lines.push_back( l );
+    }
+  }
+  return lines;
+}
+
+std::vector<std::uint32_t> output_lines_of( const reversible_circuit& circuit )
+{
+  int max_index = -1;
+  for ( unsigned l = 0; l < circuit.num_lines(); ++l )
+  {
+    max_index = std::max( max_index, circuit.line( l ).output_index );
+  }
+  std::vector<std::uint32_t> lines( static_cast<std::size_t>( max_index + 1 ), 0u );
+  for ( unsigned l = 0; l < circuit.num_lines(); ++l )
+  {
+    const auto idx = circuit.line( l ).output_index;
+    if ( idx >= 0 )
+    {
+      lines[static_cast<std::size_t>( idx )] = l;
+    }
+  }
+  return lines;
+}
+
+std::vector<bool> evaluate_circuit( const reversible_circuit& circuit,
+                                    const std::vector<bool>& inputs )
+{
+  const auto in_lines = input_lines_of( circuit );
+  if ( inputs.size() != in_lines.size() )
+  {
+    throw std::invalid_argument( "evaluate_circuit: input arity mismatch" );
+  }
+  std::vector<bool> state( circuit.num_lines(), false );
+  for ( unsigned l = 0; l < circuit.num_lines(); ++l )
+  {
+    if ( circuit.line( l ).is_constant_input )
+    {
+      state[l] = circuit.line( l ).constant_value;
+    }
+  }
+  for ( std::size_t i = 0; i < in_lines.size(); ++i )
+  {
+    state[in_lines[i]] = inputs[i];
+  }
+  circuit.apply( state );
+  const auto out_lines = output_lines_of( circuit );
+  std::vector<bool> outputs( out_lines.size() );
+  for ( std::size_t o = 0; o < out_lines.size(); ++o )
+  {
+    outputs[o] = state[out_lines[o]];
+  }
+  return outputs;
+}
+
+bool verify_against_truth_tables( const reversible_circuit& circuit,
+                                  const std::vector<truth_table>& outputs )
+{
+  const auto in_lines = input_lines_of( circuit );
+  const auto num_inputs = static_cast<unsigned>( in_lines.size() );
+  if ( num_inputs > 16u )
+  {
+    throw std::invalid_argument( "verify_against_truth_tables: too many inputs" );
+  }
+  for ( std::uint64_t x = 0; x < ( std::uint64_t{ 1 } << num_inputs ); ++x )
+  {
+    std::vector<bool> inputs( num_inputs );
+    for ( unsigned i = 0; i < num_inputs; ++i )
+    {
+      inputs[i] = ( x >> i ) & 1u;
+    }
+    const auto result = evaluate_circuit( circuit, inputs );
+    if ( result.size() != outputs.size() )
+    {
+      return false;
+    }
+    for ( std::size_t o = 0; o < outputs.size(); ++o )
+    {
+      if ( result[o] != outputs[o].get_bit( x ) )
+      {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::optional<std::vector<bool>> verify_against_aig_sampled( const reversible_circuit& circuit,
+                                                             const aig_network& aig,
+                                                             unsigned num_samples,
+                                                             std::uint64_t seed )
+{
+  const auto in_lines = input_lines_of( circuit );
+  if ( in_lines.size() != aig.num_pis() )
+  {
+    throw std::invalid_argument( "verify_against_aig_sampled: input arity mismatch" );
+  }
+  std::mt19937_64 rng( seed );
+  for ( unsigned s = 0; s < num_samples + 2u; ++s )
+  {
+    std::vector<bool> inputs( aig.num_pis() );
+    if ( s == 0 )
+    {
+      // all zero
+    }
+    else if ( s == 1 )
+    {
+      inputs.assign( aig.num_pis(), true );
+    }
+    else
+    {
+      for ( std::size_t i = 0; i < inputs.size(); ++i )
+      {
+        inputs[i] = rng() & 1u;
+      }
+    }
+    const auto expected = aig.evaluate( inputs );
+    const auto actual = evaluate_circuit( circuit, inputs );
+    if ( expected != actual )
+    {
+      return inputs;
+    }
+  }
+  return std::nullopt;
+}
+
+bool verify_permutation( const reversible_circuit& circuit,
+                         const std::vector<std::uint64_t>& expected )
+{
+  if ( circuit.num_lines() > 20u )
+  {
+    throw std::invalid_argument( "verify_permutation: too many lines" );
+  }
+  return circuit.permutation() == expected;
+}
+
+} // namespace qsyn

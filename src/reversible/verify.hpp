@@ -1,0 +1,51 @@
+/// \file verify.hpp
+/// \brief Verification of synthesized reversible circuits against their
+/// irreversible specification (our analogue of the paper's use of ABC `cec`).
+///
+/// Conventions: input variable i lives on the i-th line flagged
+/// `is_primary_input` (in line order); constant ancillae carry
+/// `is_constant_input` / `constant_value`; output j is read from the line
+/// with `output_index == j`.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "../logic/aig.hpp"
+#include "../logic/truth_table.hpp"
+#include "circuit.hpp"
+
+namespace qsyn
+{
+
+/// Lines flagged as primary inputs, in order.
+std::vector<std::uint32_t> input_lines_of( const reversible_circuit& circuit );
+/// Line holding each output (indexed by output).
+std::vector<std::uint32_t> output_lines_of( const reversible_circuit& circuit );
+
+/// Simulates the circuit on one input assignment (constants filled in) and
+/// returns the output values.
+std::vector<bool> evaluate_circuit( const reversible_circuit& circuit,
+                                    const std::vector<bool>& inputs );
+
+/// Exhaustively checks the circuit against output truth tables
+/// (2^inputs simulations; practical for <= ~16 inputs).
+bool verify_against_truth_tables( const reversible_circuit& circuit,
+                                  const std::vector<truth_table>& outputs );
+
+/// Checks the circuit against an AIG on `num_samples` random input
+/// assignments (plus the all-zero and all-one patterns).  Returns the first
+/// failing input if any.
+std::optional<std::vector<bool>> verify_against_aig_sampled( const reversible_circuit& circuit,
+                                                             const aig_network& aig,
+                                                             unsigned num_samples = 256,
+                                                             std::uint64_t seed = 1 );
+
+/// Checks that the circuit realizes exactly the given permutation over all
+/// its lines (num_lines() <= 20).
+bool verify_permutation( const reversible_circuit& circuit,
+                         const std::vector<std::uint64_t>& expected );
+
+} // namespace qsyn

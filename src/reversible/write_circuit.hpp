@@ -1,0 +1,35 @@
+/// \file write_circuit.hpp
+/// \brief Exchange-format writers for reversible circuits.
+///
+/// Two formats cover the downstream toolchains the paper's flows feed:
+///
+/// * RevLib `.real` — the standard benchmark format of the reversible
+///   logic community (RevKit [23] reads and writes it),
+/// * OpenQASM 2.0 — gate-level export for quantum toolchains; NOT/CNOT/
+///   Toffoli map to x/cx/ccx, larger mixed-polarity Toffolis are emitted
+///   with the same V-chain ancilla construction the cost model assumes
+///   (or rejected if `allow_large_gates` is false).
+
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "circuit.hpp"
+
+namespace qsyn
+{
+
+/// Writes RevLib .real (version 2.0).  Mixed-polarity controls use the
+/// RevLib convention (leading '-' on negative control lines).
+void write_real( const reversible_circuit& circuit, std::ostream& os,
+                 const std::string& name = "circuit" );
+std::string to_real( const reversible_circuit& circuit, const std::string& name = "circuit" );
+
+/// Writes OpenQASM 2.0.  Gates with more than two controls are decomposed
+/// with a CCX V-chain over a dedicated ancilla register (sized for the
+/// largest gate); negative controls become x-conjugations.
+void write_qasm( const reversible_circuit& circuit, std::ostream& os );
+std::string to_qasm( const reversible_circuit& circuit );
+
+} // namespace qsyn

@@ -1,0 +1,46 @@
+/// \file esop_synth.hpp
+/// \brief ESOP-based reversible synthesis (REVS [9], paper Sec. IV-B).
+///
+/// Input is a multi-output ESOP over the primary inputs.  With p = 0, each
+/// product term of k literals becomes one Toffoli gate with k mixed-polarity
+/// controls targeting an output line; terms shared between outputs are
+/// realized once and copied with CNOTs (the circuit then uses exactly
+/// n + m = 2n lines for the reciprocal).  With p > 0, the synthesizer runs
+/// p rounds of common-subexpression factoring: the most frequent co-occurring
+/// control pair is computed once onto a fresh ancilla line (one 2-control
+/// Toffoli), every term containing the pair drops a control, and the
+/// ancillae are uncomputed at the end.  This trades additional lines for a
+/// lower total T-count, exactly the tradeoff reported in Table III.
+
+#pragma once
+
+#include <cstdint>
+
+#include "../logic/cube.hpp"
+#include "../reversible/circuit.hpp"
+
+namespace qsyn
+{
+
+struct esop_synth_params
+{
+  /// Number of factoring rounds (paper's p; 0 disables factoring).
+  unsigned p = 0;
+  /// A factor must appear in at least this many terms to be extracted.
+  unsigned min_factor_uses = 2;
+};
+
+struct esop_synth_stats
+{
+  unsigned ancilla_lines = 0;
+  unsigned factored_pairs = 0;
+};
+
+/// Synthesizes a reversible circuit from a multi-output ESOP.  Lines 0..n-1
+/// carry the inputs (preserved), lines n..n+m-1 the outputs (constant-0
+/// initialized), further lines are factoring ancillae (returned to 0).
+reversible_circuit esop_synthesize( const esop& expression,
+                                    const esop_synth_params& params = {},
+                                    esop_synth_stats* stats = nullptr );
+
+} // namespace qsyn

@@ -1,0 +1,90 @@
+#include "cnf.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace qsyn::sat
+{
+
+std::vector<literal> encode_aig( const aig_network& aig, solver& s )
+{
+  std::vector<literal> node_lits( aig.num_nodes() );
+  // Constant node: a fresh variable forced to false.
+  const auto const_var = s.new_var();
+  s.add_clause( { neg_lit( const_var ) } );
+  node_lits[0] = pos_lit( const_var );
+  for ( unsigned i = 0; i < aig.num_pis(); ++i )
+  {
+    node_lits[i + 1u] = pos_lit( s.new_var() );
+  }
+  const auto aig_to_sat = [&]( aig_lit l ) {
+    const auto base = node_lits[lit_node( l )];
+    return lit_complemented( l ) ? lit_negate( base ) : base;
+  };
+  for ( std::uint32_t n = aig.num_pis() + 1u; n < aig.num_nodes(); ++n )
+  {
+    const auto out = pos_lit( s.new_var() );
+    node_lits[n] = out;
+    const auto a = aig_to_sat( aig.fanin0( n ) );
+    const auto b = aig_to_sat( aig.fanin1( n ) );
+    // out <-> a & b
+    s.add_clause( { lit_negate( out ), a } );
+    s.add_clause( { lit_negate( out ), b } );
+    s.add_clause( { out, lit_negate( a ), lit_negate( b ) } );
+  }
+  return node_lits;
+}
+
+cec_result check_equivalence( const aig_network& a, const aig_network& b )
+{
+  if ( a.num_pis() != b.num_pis() || a.num_pos() != b.num_pos() )
+  {
+    throw std::invalid_argument( "check_equivalence: interface mismatch" );
+  }
+  solver s;
+  const auto lits_a = encode_aig( a, s );
+  const auto lits_b = encode_aig( b, s );
+  // Tie the PIs together.
+  for ( unsigned i = 0; i < a.num_pis(); ++i )
+  {
+    const auto la = lits_a[i + 1u];
+    const auto lb = lits_b[i + 1u];
+    s.add_clause( { lit_negate( la ), lb } );
+    s.add_clause( { la, lit_negate( lb ) } );
+  }
+  const auto to_sat = [&]( const std::vector<literal>& node_lits, aig_lit l ) {
+    const auto base = node_lits[lit_node( l )];
+    return lit_complemented( l ) ? lit_negate( base ) : base;
+  };
+  // Miter: OR over all pairwise output XORs must be satisfiable for a
+  // difference to exist.
+  std::vector<literal> any_diff;
+  for ( unsigned o = 0; o < a.num_pos(); ++o )
+  {
+    const auto oa = to_sat( lits_a, a.po( o ) );
+    const auto ob = to_sat( lits_b, b.po( o ) );
+    const auto diff = pos_lit( s.new_var() );
+    // diff -> (oa xor ob); the reverse direction is unnecessary for the miter.
+    s.add_clause( { lit_negate( diff ), oa, ob } );
+    s.add_clause( { lit_negate( diff ), lit_negate( oa ), lit_negate( ob ) } );
+    any_diff.push_back( diff );
+  }
+  s.add_clause( any_diff );
+  const auto res = s.solve();
+  cec_result out;
+  if ( res == result::unsatisfiable )
+  {
+    out.equivalent = true;
+    return out;
+  }
+  assert( res == result::satisfiable );
+  std::vector<bool> cex( a.num_pis() );
+  for ( unsigned i = 0; i < a.num_pis(); ++i )
+  {
+    cex[i] = s.model_value( lit_var( lits_a[i + 1u] ) );
+  }
+  out.counterexample = std::move( cex );
+  return out;
+}
+
+} // namespace qsyn::sat

@@ -1,0 +1,37 @@
+/// \file cnf.hpp
+/// \brief Tseitin encoding of AIGs and SAT-based combinational equivalence
+/// checking.
+///
+/// The paper verifies every synthesized reversible circuit against its
+/// specification with ABC's `cec`.  We provide the same capability: a miter
+/// between two AIGs is encoded to CNF and handed to the CDCL solver; UNSAT
+/// proves equivalence, a model is a counterexample input assignment.
+
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "../logic/aig.hpp"
+#include "solver.hpp"
+
+namespace qsyn::sat
+{
+
+/// Encodes an AIG into `s`.  Returns one solver literal per AIG node
+/// (indexed by node id); PO literals can be derived with `lit_not_cond`.
+std::vector<literal> encode_aig( const aig_network& aig, solver& s );
+
+/// Result of a combinational equivalence check.
+struct cec_result
+{
+  bool equivalent = false;
+  /// Counterexample input assignment if not equivalent.
+  std::optional<std::vector<bool>> counterexample;
+};
+
+/// Checks whether two AIGs with the same number of PIs / POs implement the
+/// same multi-output function.
+cec_result check_equivalence( const aig_network& a, const aig_network& b );
+
+} // namespace qsyn::sat

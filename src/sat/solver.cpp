@@ -1,0 +1,412 @@
+#include "solver.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace qsyn::sat
+{
+
+std::uint32_t solver::new_var()
+{
+  const auto v = static_cast<std::uint32_t>( assign_.size() );
+  assign_.push_back( lbool::unassigned );
+  reason_.push_back( -1 );
+  level_.push_back( 0 );
+  activity_.push_back( 0.0 );
+  phase_.push_back( false );
+  seen_.push_back( false );
+  watches_.emplace_back();
+  watches_.emplace_back();
+  return v;
+}
+
+bool solver::add_clause( std::vector<literal> lits )
+{
+  if ( !ok_ )
+  {
+    return false;
+  }
+  assert( trail_limits_.empty() && "clauses must be added at decision level 0" );
+  // Remove duplicate literals and satisfied/falsified simplifications.
+  std::sort( lits.begin(), lits.end() );
+  lits.erase( std::unique( lits.begin(), lits.end() ), lits.end() );
+  std::vector<literal> filtered;
+  for ( std::size_t i = 0; i < lits.size(); ++i )
+  {
+    if ( i + 1u < lits.size() && lits[i + 1u] == lit_negate( lits[i] ) )
+    {
+      return true; // tautology: contains l and !l
+    }
+    const auto v = value( lits[i] );
+    if ( v == lbool::true_value )
+    {
+      return true; // already satisfied at level 0
+    }
+    if ( v == lbool::unassigned )
+    {
+      filtered.push_back( lits[i] );
+    }
+  }
+  if ( filtered.empty() )
+  {
+    ok_ = false;
+    return false;
+  }
+  if ( filtered.size() == 1u )
+  {
+    enqueue( filtered[0], -1 );
+    if ( propagate() >= 0 )
+    {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+  const auto index = static_cast<std::uint32_t>( clauses_.size() );
+  clauses_.push_back( { std::move( filtered ) } );
+  attach_clause( index );
+  return true;
+}
+
+void solver::attach_clause( std::uint32_t index )
+{
+  const auto& c = clauses_[index].lits;
+  watches_[lit_negate( c[0] )].push_back( { index, c[1] } );
+  watches_[lit_negate( c[1] )].push_back( { index, c[0] } );
+}
+
+void solver::enqueue( literal l, std::int32_t reason )
+{
+  const auto v = lit_var( l );
+  assert( assign_[v] == lbool::unassigned );
+  assign_[v] = lit_sign( l ) ? lbool::false_value : lbool::true_value;
+  reason_[v] = reason;
+  level_[v] = static_cast<std::uint32_t>( trail_limits_.size() );
+  trail_.push_back( l );
+}
+
+std::int32_t solver::propagate()
+{
+  while ( propagate_head_ < trail_.size() )
+  {
+    const auto l = trail_[propagate_head_++];
+    ++propagations_;
+    auto& watch_list = watches_[l];
+    std::size_t keep = 0;
+    for ( std::size_t i = 0; i < watch_list.size(); ++i )
+    {
+      const auto w = watch_list[i];
+      if ( value( w.blocker ) == lbool::true_value )
+      {
+        watch_list[keep++] = w;
+        continue;
+      }
+      auto& lits = clauses_[w.clause_index].lits;
+      // Normalize: watched literal being falsified is !l; put it at position 1.
+      const auto false_lit = lit_negate( l );
+      if ( lits[0] == false_lit )
+      {
+        std::swap( lits[0], lits[1] );
+      }
+      assert( lits[1] == false_lit );
+      if ( value( lits[0] ) == lbool::true_value )
+      {
+        watch_list[keep++] = { w.clause_index, lits[0] };
+        continue;
+      }
+      // Look for a new literal to watch.
+      bool moved = false;
+      for ( std::size_t k = 2; k < lits.size(); ++k )
+      {
+        if ( value( lits[k] ) != lbool::false_value )
+        {
+          std::swap( lits[1], lits[k] );
+          watches_[lit_negate( lits[1] )].push_back( { w.clause_index, lits[0] } );
+          moved = true;
+          break;
+        }
+      }
+      if ( moved )
+      {
+        continue;
+      }
+      // Clause is unit or conflicting.
+      watch_list[keep++] = w;
+      if ( value( lits[0] ) == lbool::false_value )
+      {
+        // Conflict: copy back remaining watchers and report.
+        for ( std::size_t k = i + 1u; k < watch_list.size(); ++k )
+        {
+          watch_list[keep++] = watch_list[k];
+        }
+        watch_list.resize( keep );
+        propagate_head_ = trail_.size();
+        return static_cast<std::int32_t>( w.clause_index );
+      }
+      enqueue( lits[0], static_cast<std::int32_t>( w.clause_index ) );
+    }
+    watch_list.resize( keep );
+  }
+  return -1;
+}
+
+void solver::analyze( std::int32_t conflict, std::vector<literal>& learnt, std::uint32_t& backtrack_level )
+{
+  learnt.clear();
+  learnt.push_back( 0 ); // placeholder for the asserting literal
+  const auto current_level = static_cast<std::uint32_t>( trail_limits_.size() );
+  std::uint32_t counter = 0;
+  literal p = 0;
+  bool have_p = false;
+  std::size_t trail_index = trail_.size();
+  std::vector<std::uint32_t> to_clear;
+
+  for ( ;; )
+  {
+    const auto& reason_lits = clauses_[conflict].lits;
+    for ( std::size_t i = have_p ? 1u : 0u; i < reason_lits.size(); ++i )
+    {
+      const auto q = reason_lits[i];
+      const auto v = lit_var( q );
+      if ( seen_[v] || level_[v] == 0 )
+      {
+        continue;
+      }
+      seen_[v] = true;
+      to_clear.push_back( v );
+      bump_var( v );
+      if ( level_[v] == current_level )
+      {
+        ++counter;
+      }
+      else
+      {
+        learnt.push_back( q );
+      }
+    }
+    // Find the next literal on the trail that is marked seen.
+    for ( ;; )
+    {
+      assert( trail_index > 0u );
+      p = trail_[--trail_index];
+      if ( seen_[lit_var( p )] )
+      {
+        break;
+      }
+    }
+    seen_[lit_var( p )] = false;
+    --counter;
+    if ( counter == 0 )
+    {
+      break;
+    }
+    // p was implied; continue with its reason clause.  The propagation
+    // invariant keeps the implied literal at position 0 (or 1 directly
+    // after a watcher renormalization); swapping the two watched positions
+    // is safe because both are watched.
+    conflict = reason_[lit_var( p )];
+    assert( conflict >= 0 );
+    auto& rl = clauses_[conflict].lits;
+    if ( rl[0] != p )
+    {
+      assert( rl[1] == p );
+      std::swap( rl[0], rl[1] );
+    }
+    have_p = true;
+  }
+  learnt[0] = lit_negate( p );
+
+  // Compute backtrack level: second highest level in the learnt clause.
+  if ( learnt.size() == 1u )
+  {
+    backtrack_level = 0;
+  }
+  else
+  {
+    std::size_t max_index = 1;
+    for ( std::size_t i = 2; i < learnt.size(); ++i )
+    {
+      if ( level_[lit_var( learnt[i] )] > level_[lit_var( learnt[max_index] )] )
+      {
+        max_index = i;
+      }
+    }
+    std::swap( learnt[1], learnt[max_index] );
+    backtrack_level = level_[lit_var( learnt[1] )];
+  }
+  for ( const auto v : to_clear )
+  {
+    seen_[v] = false;
+  }
+}
+
+void solver::backtrack( std::uint32_t level )
+{
+  if ( trail_limits_.size() <= level )
+  {
+    return;
+  }
+  const auto limit = trail_limits_[level];
+  for ( std::size_t i = trail_.size(); i > limit; --i )
+  {
+    const auto v = lit_var( trail_[i - 1u] );
+    phase_[v] = assign_[v] == lbool::true_value;
+    assign_[v] = lbool::unassigned;
+    reason_[v] = -1;
+  }
+  trail_.resize( limit );
+  trail_limits_.resize( level );
+  propagate_head_ = trail_.size();
+}
+
+literal solver::pick_branch()
+{
+  std::uint32_t best = 0;
+  double best_activity = -1.0;
+  for ( std::uint32_t v = 0; v < num_vars(); ++v )
+  {
+    if ( assign_[v] == lbool::unassigned && activity_[v] > best_activity )
+    {
+      best = v;
+      best_activity = activity_[v];
+    }
+  }
+  if ( best_activity < 0.0 )
+  {
+    return 0xffffffffu; // sentinel: no unassigned variable
+  }
+  return phase_[best] ? pos_lit( best ) : neg_lit( best );
+}
+
+void solver::bump_var( std::uint32_t var )
+{
+  activity_[var] += activity_inc_;
+  if ( activity_[var] > 1e100 )
+  {
+    for ( auto& a : activity_ )
+    {
+      a *= 1e-100;
+    }
+    activity_inc_ *= 1e-100;
+  }
+}
+
+void solver::decay_activities()
+{
+  activity_inc_ /= 0.95;
+}
+
+result solver::solve( const std::vector<literal>& assumptions, std::uint64_t conflict_budget )
+{
+  if ( !ok_ )
+  {
+    return result::unsatisfiable;
+  }
+  backtrack( 0 );
+  if ( propagate() >= 0 )
+  {
+    ok_ = false;
+    return result::unsatisfiable;
+  }
+
+  std::uint64_t restart_limit = 100;
+  std::uint64_t conflicts_since_restart = 0;
+  const std::uint64_t start_conflicts = conflicts_;
+
+  for ( ;; )
+  {
+    const auto conflict = propagate();
+    if ( conflict >= 0 )
+    {
+      ++conflicts_;
+      ++conflicts_since_restart;
+      if ( trail_limits_.empty() )
+      {
+        ok_ = false;
+        return result::unsatisfiable;
+      }
+      std::vector<literal> learnt;
+      std::uint32_t backtrack_level = 0;
+      analyze( conflict, learnt, backtrack_level );
+      // Never backtrack above the assumption levels.
+      const auto assumption_levels = static_cast<std::uint32_t>(
+          std::min<std::size_t>( assumptions.size(), trail_limits_.size() ) );
+      if ( backtrack_level < assumption_levels )
+      {
+        // The conflict depends only on assumptions: UNSAT under assumptions.
+        if ( learnt.size() == 1u && level_[lit_var( learnt[0] )] == 0 )
+        {
+          backtrack( 0 );
+          if ( !add_clause( { learnt[0] } ) )
+          {
+            return result::unsatisfiable;
+          }
+          continue;
+        }
+        backtrack( 0 );
+        return result::unsatisfiable;
+      }
+      backtrack( backtrack_level );
+      if ( learnt.size() == 1u )
+      {
+        enqueue( learnt[0], -1 );
+      }
+      else
+      {
+        const auto index = static_cast<std::uint32_t>( clauses_.size() );
+        clauses_.push_back( { learnt } );
+        attach_clause( index );
+        enqueue( learnt[0], static_cast<std::int32_t>( index ) );
+      }
+      decay_activities();
+      if ( conflict_budget != 0 && conflicts_ - start_conflicts >= conflict_budget )
+      {
+        backtrack( 0 );
+        return result::unknown;
+      }
+      if ( conflicts_since_restart >= restart_limit )
+      {
+        conflicts_since_restart = 0;
+        restart_limit = restart_limit + restart_limit / 2u;
+        backtrack( 0 );
+      }
+      continue;
+    }
+
+    // Apply pending assumptions as decisions.
+    if ( trail_limits_.size() < assumptions.size() )
+    {
+      const auto a = assumptions[trail_limits_.size()];
+      const auto v = value( a );
+      if ( v == lbool::false_value )
+      {
+        backtrack( 0 );
+        return result::unsatisfiable;
+      }
+      trail_limits_.push_back( static_cast<std::uint32_t>( trail_.size() ) );
+      if ( v == lbool::unassigned )
+      {
+        enqueue( a, -1 );
+      }
+      continue;
+    }
+
+    const auto branch = pick_branch();
+    if ( branch == 0xffffffffu )
+    {
+      // All variables assigned: model found.
+      model_.resize( num_vars() );
+      for ( std::uint32_t v = 0; v < num_vars(); ++v )
+      {
+        model_[v] = assign_[v] == lbool::true_value;
+      }
+      backtrack( 0 );
+      return result::satisfiable;
+    }
+    ++decisions_;
+    trail_limits_.push_back( static_cast<std::uint32_t>( trail_.size() ) );
+    enqueue( branch, -1 );
+  }
+}
+
+} // namespace qsyn::sat

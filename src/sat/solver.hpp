@@ -1,0 +1,121 @@
+/// \file solver.hpp
+/// \brief A CDCL SAT solver.
+///
+/// The solver backs combinational equivalence checking (the paper verifies
+/// every synthesized circuit with ABC's `cec`) and SAT-based sanity checks
+/// inside the logic optimizer.  It is a classic conflict-driven solver:
+/// two-watched-literal propagation, first-UIP clause learning, VSIDS-style
+/// activities with phase saving, and geometric restarts.  Clause deletion is
+/// omitted — instances produced by our flows are small enough that learned
+/// clauses comfortably fit in memory.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace qsyn::sat
+{
+
+/// Literal encoding: 2 * var + sign (sign = 1 means negated).
+using literal = std::uint32_t;
+
+inline literal pos_lit( std::uint32_t var ) { return var << 1; }
+inline literal neg_lit( std::uint32_t var ) { return ( var << 1 ) | 1u; }
+inline literal lit_negate( literal l ) { return l ^ 1u; }
+inline std::uint32_t lit_var( literal l ) { return l >> 1; }
+inline bool lit_sign( literal l ) { return l & 1u; }
+
+/// Solver outcome.
+enum class result
+{
+  satisfiable,
+  unsatisfiable,
+  unknown ///< conflict budget exhausted
+};
+
+/// Conflict-driven clause-learning SAT solver.
+class solver
+{
+public:
+  solver() = default;
+
+  /// Allocates a fresh variable and returns its index.
+  std::uint32_t new_var();
+  std::uint32_t num_vars() const { return static_cast<std::uint32_t>( assign_.size() ); }
+
+  /// Adds a clause (vector of literals).  Returns false if the clause is
+  /// trivially conflicting at level 0 (solver becomes permanently UNSAT).
+  bool add_clause( std::vector<literal> clause );
+
+  /// Solves under the given assumptions.
+  result solve( const std::vector<literal>& assumptions = {}, std::uint64_t conflict_budget = 0 );
+
+  /// Value of a variable in the last satisfying model.
+  bool model_value( std::uint32_t var ) const { return model_[var]; }
+
+  std::uint64_t num_conflicts() const { return conflicts_; }
+  std::uint64_t num_decisions() const { return decisions_; }
+  std::uint64_t num_propagations() const { return propagations_; }
+
+private:
+  enum class lbool : std::int8_t
+  {
+    unassigned = 0,
+    true_value = 1,
+    false_value = -1
+  };
+
+  struct clause
+  {
+    std::vector<literal> lits;
+  };
+
+  struct watcher
+  {
+    std::uint32_t clause_index;
+    literal blocker;
+  };
+
+  lbool value( literal l ) const
+  {
+    const auto v = assign_[lit_var( l )];
+    if ( v == lbool::unassigned )
+    {
+      return lbool::unassigned;
+    }
+    const bool is_true = ( v == lbool::true_value ) != lit_sign( l );
+    return is_true ? lbool::true_value : lbool::false_value;
+  }
+
+  void enqueue( literal l, std::int32_t reason );
+  /// Propagates pending assignments; returns conflicting clause index or -1.
+  std::int32_t propagate();
+  void analyze( std::int32_t conflict, std::vector<literal>& learnt, std::uint32_t& backtrack_level );
+  void backtrack( std::uint32_t level );
+  literal pick_branch();
+  void bump_var( std::uint32_t var );
+  void decay_activities();
+  void attach_clause( std::uint32_t index );
+
+  std::vector<clause> clauses_;
+  std::vector<std::vector<watcher>> watches_; ///< indexed by literal
+  std::vector<lbool> assign_;                 ///< per variable
+  std::vector<std::int32_t> reason_;          ///< clause index or -1 (decision)
+  std::vector<std::uint32_t> level_;
+  std::vector<literal> trail_;
+  std::vector<std::uint32_t> trail_limits_;
+  std::size_t propagate_head_ = 0;
+  std::vector<double> activity_;
+  std::vector<bool> phase_;
+  double activity_inc_ = 1.0;
+  bool ok_ = true;
+  std::vector<bool> model_;
+  std::vector<bool> seen_; ///< scratch for analyze()
+
+  std::uint64_t conflicts_ = 0;
+  std::uint64_t decisions_ = 0;
+  std::uint64_t propagations_ = 0;
+};
+
+} // namespace qsyn::sat

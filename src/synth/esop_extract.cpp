@@ -1,0 +1,157 @@
+#include "esop_extract.hpp"
+
+#include <cassert>
+#include <unordered_map>
+
+namespace qsyn
+{
+
+namespace
+{
+
+class psdkro_extractor
+{
+public:
+  std::vector<cube> run( const truth_table& tt, unsigned top_var )
+  {
+    return extract( tt, top_var );
+  }
+
+private:
+  std::vector<cube> extract( const truth_table& tt, unsigned var )
+  {
+    if ( tt.is_const0() )
+    {
+      return {};
+    }
+    if ( tt.is_const1() )
+    {
+      return { cube{} };
+    }
+    if ( const auto it = memo_.find( tt ); it != memo_.end() )
+    {
+      return it->second;
+    }
+    // Find the top-most support variable at or below `var`.
+    unsigned v = var;
+    while ( v > 0 && !tt.depends_on( v - 1u ) )
+    {
+      --v;
+    }
+    assert( v > 0 );
+    const unsigned x = v - 1u;
+
+    const auto f0 = tt.cofactor( x, false );
+    const auto f1 = tt.cofactor( x, true );
+    const auto f2 = f0 ^ f1;
+
+    auto c0 = extract( f0, x );
+    auto c1 = extract( f1, x );
+    auto c2 = extract( f2, x );
+
+    const auto cost_shannon = c0.size() + c1.size();
+    const auto cost_pdavio = c0.size() + c2.size();
+    const auto cost_ndavio = c1.size() + c2.size();
+
+    std::vector<cube> result;
+    if ( cost_shannon <= cost_pdavio && cost_shannon <= cost_ndavio )
+    {
+      // f = !x f0 ^ x f1
+      result.reserve( c0.size() + c1.size() );
+      for ( auto c : c0 )
+      {
+        c.add_literal( x, false );
+        result.push_back( c );
+      }
+      for ( auto c : c1 )
+      {
+        c.add_literal( x, true );
+        result.push_back( c );
+      }
+    }
+    else if ( cost_pdavio <= cost_ndavio )
+    {
+      // f = f0 ^ x f2
+      result.reserve( c0.size() + c2.size() );
+      for ( const auto& c : c0 )
+      {
+        result.push_back( c );
+      }
+      for ( auto c : c2 )
+      {
+        c.add_literal( x, true );
+        result.push_back( c );
+      }
+    }
+    else
+    {
+      // f = f1 ^ !x f2
+      result.reserve( c1.size() + c2.size() );
+      for ( const auto& c : c1 )
+      {
+        result.push_back( c );
+      }
+      for ( auto c : c2 )
+      {
+        c.add_literal( x, false );
+        result.push_back( c );
+      }
+    }
+    memo_.emplace( tt, result );
+    return result;
+  }
+
+  std::unordered_map<truth_table, std::vector<cube>, truth_table_hash> memo_;
+};
+
+} // namespace
+
+std::vector<cube> esop_from_truth_table( const truth_table& tt )
+{
+  psdkro_extractor extractor;
+  return extractor.run( tt, tt.num_vars() );
+}
+
+esop esop_from_aig( const aig_network& aig )
+{
+  const auto tts = aig.simulate_outputs();
+  esop result;
+  result.num_inputs = aig.num_pis();
+  result.num_outputs = aig.num_pos();
+  psdkro_extractor extractor; // shared memo across outputs encourages sharing
+  for ( unsigned o = 0; o < aig.num_pos(); ++o )
+  {
+    const auto cubes = extractor.run( tts[o], tts[o].num_vars() );
+    for ( const auto& c : cubes )
+    {
+      result.terms.push_back( { c, std::uint64_t{ 1 } << o } );
+    }
+  }
+  result.merge_identical_cubes();
+  return result;
+}
+
+std::vector<cube> pprm_from_truth_table( const truth_table& tt )
+{
+  // Reed-Muller (Moebius) transform: butterfly over the bit vector.
+  truth_table coeffs = tt;
+  const auto n = tt.num_vars();
+  for ( unsigned v = 0; v < n; ++v )
+  {
+    // coeffs ^= (coeffs restricted to x_v = 0) shifted into the x_v = 1 half
+    const auto neg = coeffs.cofactor( v, false );
+    const auto proj = truth_table::projection( n, v );
+    coeffs ^= neg & proj;
+  }
+  std::vector<cube> cubes;
+  for ( std::uint64_t m = 0; m < coeffs.num_bits(); ++m )
+  {
+    if ( coeffs.get_bit( m ) )
+    {
+      cubes.push_back( cube{ m, m } ); // monomial: positive literals at set bits
+    }
+  }
+  return cubes;
+}
+
+} // namespace qsyn

@@ -1,0 +1,247 @@
+#include "exorcism.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "../common/bits.hpp"
+
+namespace qsyn
+{
+
+namespace
+{
+
+/// Three-valued literal state of a variable within a cube.
+enum class lit_state : std::uint8_t
+{
+  absent,
+  positive,
+  negative
+};
+
+lit_state state_of( const cube& c, unsigned var )
+{
+  if ( !c.has_var( var ) )
+  {
+    return lit_state::absent;
+  }
+  return c.var_polarity( var ) ? lit_state::positive : lit_state::negative;
+}
+
+void set_state( cube& c, unsigned var, lit_state s )
+{
+  switch ( s )
+  {
+  case lit_state::absent:
+    c.remove_literal( var );
+    break;
+  case lit_state::positive:
+    c.add_literal( var, true );
+    break;
+  case lit_state::negative:
+    c.add_literal( var, false );
+    break;
+  }
+}
+
+/// The EXORLINK "merged" literal: the unique third state.
+lit_state merge_state( lit_state a, lit_state b )
+{
+  // absent=0, positive=1, negative=2 -> third value has index 3-a-b.
+  const int ia = static_cast<int>( a );
+  const int ib = static_cast<int>( b );
+  return static_cast<lit_state>( 3 - ia - ib );
+}
+
+/// Positions (variables) where two cubes differ.
+std::vector<unsigned> diff_positions( const cube& a, const cube& b )
+{
+  const auto diff_mask =
+      ( a.mask ^ b.mask ) | ( ( a.polarity ^ b.polarity ) & ( a.mask & b.mask ) );
+  std::vector<unsigned> positions;
+  for ( unsigned v = 0; v < 64; ++v )
+  {
+    if ( ( diff_mask >> v ) & 1u )
+    {
+      positions.push_back( v );
+    }
+  }
+  return positions;
+}
+
+/// Exhaustive semantic check (over the involved variables) that
+/// a ^ b == c1 [^ c2].
+bool xor_equivalent( const cube& a, const cube& b, const cube& c1, const cube* c2 )
+{
+  std::uint64_t vars = a.mask | b.mask | c1.mask;
+  if ( c2 )
+  {
+    vars |= c2->mask;
+  }
+  std::vector<unsigned> idx;
+  for ( unsigned v = 0; v < 64; ++v )
+  {
+    if ( ( vars >> v ) & 1u )
+    {
+      idx.push_back( v );
+    }
+  }
+  for ( std::uint64_t m = 0; m < ( std::uint64_t{ 1 } << idx.size() ); ++m )
+  {
+    std::uint64_t input = 0;
+    for ( std::size_t i = 0; i < idx.size(); ++i )
+    {
+      if ( ( m >> i ) & 1u )
+      {
+        input |= std::uint64_t{ 1 } << idx[i];
+      }
+    }
+    const bool lhs = a.evaluate( input ) ^ b.evaluate( input );
+    bool rhs = c1.evaluate( input );
+    if ( c2 )
+    {
+      rhs ^= c2->evaluate( input );
+    }
+    if ( lhs != rhs )
+    {
+      return false;
+    }
+  }
+  return true;
+}
+
+struct replacement
+{
+  cube first;
+  std::optional<cube> second;
+
+  int num_literals() const
+  {
+    return first.num_literals() + ( second ? second->num_literals() : 0 );
+  }
+  int num_cubes() const { return second ? 2 : 1; }
+};
+
+/// Candidate replacements for a cube pair of distance 1 or 2.
+std::vector<replacement> candidates( const cube& a, const cube& b )
+{
+  const auto positions = diff_positions( a, b );
+  std::vector<replacement> result;
+  if ( positions.size() == 1u )
+  {
+    // Distance 1: a ^ b collapses to a single cube whose literal at the
+    // differing position is the merged state.
+    cube merged = a;
+    set_state( merged, positions[0],
+               merge_state( state_of( a, positions[0] ), state_of( b, positions[0] ) ) );
+    result.push_back( { merged, std::nullopt } );
+  }
+  else if ( positions.size() == 2u )
+  {
+    // EXORLINK-2: two symmetric rewrites.
+    const auto p1 = positions[0];
+    const auto p2 = positions[1];
+    const auto m1 = merge_state( state_of( a, p1 ), state_of( b, p1 ) );
+    const auto m2 = merge_state( state_of( a, p2 ), state_of( b, p2 ) );
+    {
+      cube c1 = a;
+      set_state( c1, p2, m2 );
+      cube c2 = b;
+      set_state( c2, p1, m1 );
+      result.push_back( { c1, c2 } );
+    }
+    {
+      cube c1 = a;
+      set_state( c1, p1, m1 );
+      cube c2 = b;
+      set_state( c2, p2, m2 );
+      result.push_back( { c1, c2 } );
+    }
+  }
+  return result;
+}
+
+} // namespace
+
+exorcism_stats exorcism( esop& expression, unsigned max_passes )
+{
+  exorcism_stats stats;
+  expression.merge_identical_cubes();
+  stats.initial_terms = expression.num_terms();
+  stats.initial_literals = expression.num_literals();
+
+  for ( unsigned pass = 0; pass < max_passes; ++pass )
+  {
+    ++stats.passes;
+    bool improved = false;
+    auto& terms = expression.terms;
+
+    for ( std::size_t i = 0; i < terms.size(); ++i )
+    {
+      bool merged_i = false;
+      for ( std::size_t j = i + 1u; j < terms.size() && !merged_i; ++j )
+      {
+        if ( terms[i].output_mask != terms[j].output_mask )
+        {
+          continue;
+        }
+        const auto dist = terms[i].product.distance( terms[j].product );
+        if ( dist == 0 )
+        {
+          // Annihilation: p ^ p = 0.
+          terms.erase( terms.begin() + static_cast<std::ptrdiff_t>( j ) );
+          terms.erase( terms.begin() + static_cast<std::ptrdiff_t>( i ) );
+          improved = true;
+          merged_i = true;
+          --i;
+          break;
+        }
+        if ( dist > 2 )
+        {
+          continue;
+        }
+        const int old_literals =
+            terms[i].product.num_literals() + terms[j].product.num_literals();
+        const int old_cubes = 2;
+        for ( const auto& cand : candidates( terms[i].product, terms[j].product ) )
+        {
+          // Prefer fewer cubes, then fewer literals.
+          if ( cand.num_cubes() > old_cubes ||
+               ( cand.num_cubes() == old_cubes && cand.num_literals() >= old_literals ) )
+          {
+            continue;
+          }
+          if ( !xor_equivalent( terms[i].product, terms[j].product, cand.first,
+                                cand.second ? &*cand.second : nullptr ) )
+          {
+            continue;
+          }
+          terms[i].product = cand.first;
+          if ( cand.second )
+          {
+            terms[j].product = *cand.second;
+          }
+          else
+          {
+            terms.erase( terms.begin() + static_cast<std::ptrdiff_t>( j ) );
+          }
+          improved = true;
+          merged_i = true;
+          break;
+        }
+      }
+    }
+    expression.merge_identical_cubes();
+    if ( !improved )
+    {
+      break;
+    }
+  }
+  stats.final_terms = expression.num_terms();
+  stats.final_literals = expression.num_literals();
+  return stats;
+}
+
+} // namespace qsyn

@@ -1,0 +1,32 @@
+/// \file exorcism.hpp
+/// \brief ESOP minimization via cube pairing (exorcism-style).
+///
+/// Reimplementation of the heuristic of Mishchenko & Perkowski, "Fast
+/// heuristic minimization of exclusive sum-of-products" [21], as used by
+/// the paper's ESOP-based flow.  The minimizer repeatedly applies
+/// EXORLINK-style transformations to cube pairs of small Boolean distance
+/// (0, 1, 2) until no transformation reduces the cost, where cost is the
+/// (cube count, literal count) pair ordered lexicographically.
+
+#pragma once
+
+#include "../logic/cube.hpp"
+
+namespace qsyn
+{
+
+/// Statistics of one minimization run.
+struct exorcism_stats
+{
+  std::size_t initial_terms = 0;
+  std::size_t final_terms = 0;
+  std::size_t initial_literals = 0;
+  std::size_t final_literals = 0;
+  unsigned passes = 0;
+};
+
+/// Minimizes a multi-output ESOP in place; returns statistics.
+/// `max_passes` bounds the outer improvement loop.
+exorcism_stats exorcism( esop& expression, unsigned max_passes = 16 );
+
+} // namespace qsyn

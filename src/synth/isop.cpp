@@ -1,0 +1,100 @@
+#include "isop.hpp"
+
+#include <cassert>
+
+namespace qsyn
+{
+
+namespace
+{
+
+/// Recursive Minato-Morreale: returns cubes and sets `cover` to the covered
+/// set.  `L` is the lower bound (must be covered), `U` the upper bound
+/// (may be covered).  Invariant: L <= U.
+std::vector<cube> isop_rec( const truth_table& lower, const truth_table& upper,
+                            unsigned num_vars, truth_table& cover )
+{
+  if ( lower.is_const0() )
+  {
+    cover = truth_table( lower.num_vars() );
+    return {};
+  }
+  if ( upper.is_const1() )
+  {
+    cover = truth_table::constant( lower.num_vars(), true );
+    return { cube{} };
+  }
+  // Pick the highest variable in the support of either bound.
+  unsigned var = 0;
+  bool found = false;
+  for ( unsigned v = num_vars; v > 0; --v )
+  {
+    if ( lower.depends_on( v - 1u ) || upper.depends_on( v - 1u ) )
+    {
+      var = v - 1u;
+      found = true;
+      break;
+    }
+  }
+  assert( found );
+  (void)found;
+
+  const auto l0 = lower.cofactor( var, false );
+  const auto l1 = lower.cofactor( var, true );
+  const auto u0 = upper.cofactor( var, false );
+  const auto u1 = upper.cofactor( var, true );
+
+  // Cubes that must contain literal !var: needed where x=0 but not
+  // allowed where x=1.
+  truth_table cover0( lower.num_vars() );
+  auto cubes0 = isop_rec( l0 & ~u1, u0, var, cover0 );
+  // Cubes that must contain literal var.
+  truth_table cover1( lower.num_vars() );
+  auto cubes1 = isop_rec( l1 & ~u0, u1, var, cover1 );
+  // Remaining minterms can be covered without the variable.
+  const auto l_rest = ( l0 & ~cover0 ) | ( l1 & ~cover1 );
+  truth_table cover_rest( lower.num_vars() );
+  auto cubes_rest = isop_rec( l_rest, u0 & u1, var, cover_rest );
+
+  std::vector<cube> result;
+  result.reserve( cubes0.size() + cubes1.size() + cubes_rest.size() );
+  for ( auto c : cubes0 )
+  {
+    c.add_literal( var, false );
+    result.push_back( c );
+  }
+  for ( auto c : cubes1 )
+  {
+    c.add_literal( var, true );
+    result.push_back( c );
+  }
+  for ( const auto& c : cubes_rest )
+  {
+    result.push_back( c );
+  }
+
+  const auto proj = truth_table::projection( lower.num_vars(), var );
+  cover = ( ~proj & cover0 ) | ( proj & cover1 ) | cover_rest;
+  return result;
+}
+
+} // namespace
+
+std::vector<cube> isop( const truth_table& on, const truth_table& dc )
+{
+  assert( on.num_vars() == dc.num_vars() );
+  truth_table cover( on.num_vars() );
+  return isop_rec( on, on | dc, on.num_vars(), cover );
+}
+
+truth_table sop_cover( const std::vector<cube>& cubes, unsigned num_vars )
+{
+  truth_table tt( num_vars );
+  for ( const auto& c : cubes )
+  {
+    tt |= c.to_truth_table( num_vars );
+  }
+  return tt;
+}
+
+} // namespace qsyn

@@ -1,0 +1,31 @@
+/// \file isop.hpp
+/// \brief Irredundant sum-of-products computation (Minato-Morreale).
+///
+/// ISOPs drive the refactoring pass of the dc2-style AIG optimizer and the
+/// SOP-based candidate form of the xmglut-style LUT resynthesis.
+
+#pragma once
+
+#include <vector>
+
+#include "../logic/cube.hpp"
+#include "../logic/truth_table.hpp"
+
+namespace qsyn
+{
+
+/// Computes an irredundant sum-of-products F with on <= F <= on | dc
+/// (classic Minato-Morreale recursion).  `on` and `dc` must not overlap in
+/// a contradictory way (on & ~ (on|dc) empty by construction).
+std::vector<cube> isop( const truth_table& on, const truth_table& dc );
+
+/// ISOP of a completely specified function.
+inline std::vector<cube> isop( const truth_table& f )
+{
+  return isop( f, truth_table( f.num_vars() ) );
+}
+
+/// Truth table covered by a SOP.
+truth_table sop_cover( const std::vector<cube>& cubes, unsigned num_vars );
+
+} // namespace qsyn

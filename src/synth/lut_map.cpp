@@ -1,0 +1,255 @@
+#include "lut_map.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <unordered_map>
+
+namespace qsyn
+{
+
+std::vector<bool> lut_network::evaluate( const std::vector<bool>& inputs ) const
+{
+  assert( inputs.size() == num_pis );
+  std::vector<bool> values( num_pis + luts.size() );
+  for ( unsigned i = 0; i < num_pis; ++i )
+  {
+    values[i] = inputs[i];
+  }
+  for ( std::size_t l = 0; l < luts.size(); ++l )
+  {
+    std::uint64_t index = 0;
+    for ( std::size_t f = 0; f < luts[l].fanins.size(); ++f )
+    {
+      if ( values[luts[l].fanins[f]] )
+      {
+        index |= std::uint64_t{ 1 } << f;
+      }
+    }
+    values[num_pis + l] = luts[l].function.get_bit( index );
+  }
+  std::vector<bool> result;
+  result.reserve( outputs.size() );
+  for ( const auto& out : outputs )
+  {
+    result.push_back( values[out.signal] ^ out.complemented );
+  }
+  return result;
+}
+
+namespace
+{
+
+/// A cut: sorted leaf nodes plus the cut function over those leaves.
+struct cut
+{
+  std::vector<std::uint32_t> leaves;
+  truth_table function;
+  std::uint32_t depth = 0;
+  double area_flow = 0.0;
+};
+
+/// Re-expresses `tt` (over `from` leaves) on the union leaf set `to`.
+truth_table expand_tt( const truth_table& tt, const std::vector<std::uint32_t>& from,
+                       const std::vector<std::uint32_t>& to )
+{
+  truth_table result( static_cast<unsigned>( to.size() ) );
+  // Build a map from `from` position to `to` position.
+  std::vector<unsigned> pos( from.size() );
+  for ( std::size_t i = 0; i < from.size(); ++i )
+  {
+    const auto it = std::lower_bound( to.begin(), to.end(), from[i] );
+    assert( it != to.end() && *it == from[i] );
+    pos[i] = static_cast<unsigned>( it - to.begin() );
+  }
+  for ( std::uint64_t m = 0; m < result.num_bits(); ++m )
+  {
+    std::uint64_t src = 0;
+    for ( std::size_t i = 0; i < from.size(); ++i )
+    {
+      if ( ( m >> pos[i] ) & 1u )
+      {
+        src |= std::uint64_t{ 1 } << i;
+      }
+    }
+    if ( tt.get_bit( src ) )
+    {
+      result.set_bit( m, true );
+    }
+  }
+  return result;
+}
+
+} // namespace
+
+lut_network lut_map( const aig_network& aig, const lut_map_params& params )
+{
+  const auto k = params.cut_size;
+  const auto fanouts = aig.fanout_counts();
+
+  // Per node: list of candidate cuts (first entry is the best).  Cut lists
+  // are freed once every fanout has consumed them (large designs would
+  // otherwise hold gigabytes of cuts); the best cut survives in
+  // `best_cuts` for the cover-extraction phase.
+  std::vector<std::vector<cut>> cuts( aig.num_nodes() );
+  std::vector<cut> best_cuts( aig.num_nodes() );
+  std::vector<std::uint32_t> pending_fanouts( fanouts );
+  // Mapped depth / area flow per node (PIs: 0), used to cost candidate cuts
+  // from their *leaves* rather than from the structural merge path.
+  std::vector<std::uint32_t> node_depth( aig.num_nodes(), 0u );
+  std::vector<double> node_area_flow( aig.num_nodes(), 0.0 );
+
+  // Trivial cut for constant: none (handled by constant folding in the
+  // consumer; a LUT network keeps constants inside LUT functions).
+  for ( std::uint32_t n = 1; n <= aig.num_pis(); ++n )
+  {
+    cut c;
+    c.leaves = { n };
+    c.function = truth_table::projection( 1, 0 );
+    c.depth = 0;
+    c.area_flow = 0.0;
+    cuts[n].push_back( std::move( c ) );
+  }
+
+  for ( std::uint32_t n = aig.num_pis() + 1u; n < aig.num_nodes(); ++n )
+  {
+    const auto f0 = aig.fanin0( n );
+    const auto f1 = aig.fanin1( n );
+    const auto n0 = lit_node( f0 );
+    const auto n1 = lit_node( f1 );
+    std::vector<cut> candidates;
+
+    const auto fanin_cuts = [&]( std::uint32_t m ) -> std::vector<cut> {
+      if ( m == 0u )
+      {
+        // Constant fanin: empty cut with constant function.
+        cut c;
+        c.function = truth_table( 0 );
+        return { c };
+      }
+      return cuts[m];
+    };
+
+    for ( const auto& c0 : fanin_cuts( n0 ) )
+    {
+      for ( const auto& c1 : fanin_cuts( n1 ) )
+      {
+        std::vector<std::uint32_t> merged;
+        std::set_union( c0.leaves.begin(), c0.leaves.end(), c1.leaves.begin(), c1.leaves.end(),
+                        std::back_inserter( merged ) );
+        if ( merged.size() > k )
+        {
+          continue;
+        }
+        cut c;
+        c.leaves = std::move( merged );
+        auto t0 = expand_tt( c0.function, c0.leaves, c.leaves );
+        if ( lit_complemented( f0 ) )
+        {
+          t0 = ~t0;
+        }
+        auto t1 = expand_tt( c1.function, c1.leaves, c.leaves );
+        if ( lit_complemented( f1 ) )
+        {
+          t1 = ~t1;
+        }
+        c.function = t0 & t1;
+        c.depth = 0;
+        c.area_flow = 1.0;
+        for ( const auto leaf : c.leaves )
+        {
+          c.depth = std::max( c.depth, node_depth[leaf] + 1u );
+          c.area_flow += node_area_flow[leaf] / std::max( 1u, fanouts[leaf] );
+        }
+        candidates.push_back( std::move( c ) );
+      }
+    }
+    // The trivial cut (the node itself) is always available for fanouts.
+    cut trivial;
+    trivial.leaves = { n };
+    trivial.function = truth_table::projection( 1, 0 );
+    // Depth of the trivial cut is the node's mapped depth = best cut depth;
+    // fill in after sorting the real candidates.
+    std::sort( candidates.begin(), candidates.end(), []( const cut& a, const cut& b ) {
+      if ( a.depth != b.depth )
+      {
+        return a.depth < b.depth;
+      }
+      if ( a.area_flow != b.area_flow )
+      {
+        return a.area_flow < b.area_flow;
+      }
+      return a.leaves.size() < b.leaves.size();
+    } );
+    if ( candidates.size() > params.cuts_per_node )
+    {
+      candidates.resize( params.cuts_per_node );
+    }
+    assert( !candidates.empty() );
+    trivial.depth = candidates.front().depth;
+    trivial.area_flow = candidates.front().area_flow;
+    best_cuts[n] = candidates.front();
+    node_depth[n] = candidates.front().depth;
+    node_area_flow[n] = candidates.front().area_flow;
+    candidates.push_back( std::move( trivial ) );
+    // Keep the best non-trivial cut first; the trivial cut participates in
+    // fanout merging only.
+    cuts[n] = std::move( candidates );
+    // Release fanin cut lists that are no longer needed.
+    for ( const auto m : { n0, n1 } )
+    {
+      if ( m > aig.num_pis() && pending_fanouts[m] > 0u && --pending_fanouts[m] == 0u )
+      {
+        cuts[m].clear();
+        cuts[m].shrink_to_fit();
+      }
+    }
+  }
+
+  // Cover extraction from the POs using each required node's best cut.
+  lut_network net;
+  net.num_pis = aig.num_pis();
+  std::unordered_map<std::uint32_t, std::uint32_t> node_to_signal; // AIG node -> LUT signal
+  for ( std::uint32_t n = 1; n <= aig.num_pis(); ++n )
+  {
+    node_to_signal[n] = n - 1u;
+  }
+
+  const auto build = [&]( std::uint32_t n, const auto& self ) -> std::uint32_t {
+    if ( const auto it = node_to_signal.find( n ); it != node_to_signal.end() )
+    {
+      return it->second;
+    }
+    assert( aig.is_and( n ) );
+    const auto& best = best_cuts[n];
+    lut_network::lut l;
+    l.function = best.function;
+    for ( const auto leaf : best.leaves )
+    {
+      l.fanins.push_back( self( leaf, self ) );
+    }
+    const auto signal = net.num_pis + static_cast<std::uint32_t>( net.luts.size() );
+    net.luts.push_back( std::move( l ) );
+    node_to_signal[n] = signal;
+    return signal;
+  };
+
+  for ( const auto po : aig.pos() )
+  {
+    const auto n = lit_node( po );
+    if ( n == 0u )
+    {
+      // Constant output: encode as a zero-input LUT.
+      lut_network::lut l;
+      l.function = truth_table( 0 );
+      const auto signal = net.num_pis + static_cast<std::uint32_t>( net.luts.size() );
+      net.luts.push_back( std::move( l ) );
+      net.outputs.push_back( { signal, lit_complemented( po ) } );
+      continue;
+    }
+    net.outputs.push_back( { build( n, build ), lit_complemented( po ) } );
+  }
+  return net;
+}
+
+} // namespace qsyn

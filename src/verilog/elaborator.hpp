@@ -1,0 +1,76 @@
+/// \file elaborator.hpp
+/// \brief Elaboration of a parsed Verilog module into an AIG.
+///
+/// This is the design-level → logic-synthesis-level interface of Fig. 1:
+/// every Verilog operator is bit-blasted into AND-inverter logic.
+/// Arithmetic uses the standard combinational macro-architectures:
+///
+/// * `+` / `-`   — ripple-carry adder / two's-complement subtractor,
+/// * `*`         — array multiplier (mod 2^W, W = context width),
+/// * `/` / `%`   — restoring division array (quotient is all-ones for a
+///                 zero divisor, matching the hardware behaviour of the
+///                 restoring scheme),
+/// * `<<` / `>>` — logarithmic barrel shifters for variable amounts,
+///                 plain rewiring for constant amounts,
+/// * comparisons — borrow-out of a subtractor.
+///
+/// All operators are unsigned; widths follow Verilog's context-determined
+/// rules (see ast.hpp).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "../logic/aig.hpp"
+#include "ast.hpp"
+
+namespace qsyn::verilog
+{
+
+/// Result of elaboration: the AIG plus port bit widths (LSB-first PI/PO
+/// order, inputs and outputs appear in module port order).
+struct elaborated_module
+{
+  aig_network aig;
+  std::vector<std::pair<std::string, unsigned>> input_ports;  ///< name, width
+  std::vector<std::pair<std::string, unsigned>> output_ports; ///< name, width
+};
+
+/// Elaborates a parsed module.  Throws std::runtime_error on semantic
+/// errors (undriven wires, width-0 signals, combinational cycles, ...).
+elaborated_module elaborate( const module_def& mod );
+
+/// Convenience: parse + elaborate Verilog source.
+elaborated_module elaborate_verilog( const std::string& source );
+
+/// --- reusable word-level bit-blasting helpers ---------------------------
+/// These operate on LSB-first literal vectors and are shared with tests and
+/// the baseline generators.
+
+/// a + b + carry_in; result has a.size() bits, carry-out optionally
+/// returned.
+std::vector<aig_lit> ripple_add( aig_network& aig, const std::vector<aig_lit>& a,
+                                 const std::vector<aig_lit>& b, aig_lit carry_in,
+                                 aig_lit* carry_out = nullptr );
+
+/// a - b (two's complement); `no_borrow`, if non-null, receives the
+/// carry-out which is 1 iff a >= b.
+std::vector<aig_lit> ripple_sub( aig_network& aig, const std::vector<aig_lit>& a,
+                                 const std::vector<aig_lit>& b, aig_lit* no_borrow = nullptr );
+
+/// a * b mod 2^W where W = a.size() (b must have the same width).
+std::vector<aig_lit> array_multiply( aig_network& aig, const std::vector<aig_lit>& a,
+                                     const std::vector<aig_lit>& b );
+
+/// Restoring division; returns the quotient, `remainder_out` (optional)
+/// receives the remainder.  Both operands must have equal width.
+std::vector<aig_lit> restoring_divide( aig_network& aig, const std::vector<aig_lit>& a,
+                                       const std::vector<aig_lit>& b,
+                                       std::vector<aig_lit>* remainder_out = nullptr );
+
+/// Logical barrel shift of `a` by the variable amount `s` (LSB-first).
+std::vector<aig_lit> barrel_shift( aig_network& aig, const std::vector<aig_lit>& a,
+                                   const std::vector<aig_lit>& s, bool left );
+
+} // namespace qsyn::verilog

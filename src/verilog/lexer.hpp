@@ -1,0 +1,70 @@
+/// \file lexer.hpp
+/// \brief Tokenizer for the Verilog subset.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qsyn::verilog
+{
+
+enum class token_kind
+{
+  identifier,
+  number,
+  keyword_module,
+  keyword_endmodule,
+  keyword_input,
+  keyword_output,
+  keyword_wire,
+  keyword_assign,
+  lparen,
+  rparen,
+  lbracket,
+  rbracket,
+  lbrace,
+  rbrace,
+  comma,
+  semicolon,
+  colon,
+  question,
+  plus,
+  minus,
+  star,
+  slash,
+  percent,
+  shift_left,
+  shift_right,
+  less,
+  less_equal,
+  greater,
+  greater_equal,
+  equal_equal,
+  not_equal,
+  amp,
+  amp_amp,
+  pipe,
+  pipe_pipe,
+  caret,
+  tilde,
+  bang,
+  assign_op, ///< '='
+  end_of_file
+};
+
+struct token
+{
+  token_kind kind;
+  std::string text;        ///< identifier text
+  std::vector<bool> bits;  ///< number value, LSB first
+  bool sized = false;      ///< number had an explicit width
+  unsigned line = 0;       ///< 1-based source line for diagnostics
+};
+
+/// Tokenizes Verilog source.  Throws std::runtime_error with a line number
+/// on malformed input.  Line comments (`//`) and block comments are skipped.
+std::vector<token> tokenize( const std::string& source );
+
+} // namespace qsyn::verilog

@@ -1,0 +1,17 @@
+/// \file parser.hpp
+/// \brief Recursive-descent parser for the Verilog subset.
+
+#pragma once
+
+#include <string>
+
+#include "ast.hpp"
+
+namespace qsyn::verilog
+{
+
+/// Parses a single module from Verilog source.  Throws std::runtime_error
+/// with a line number on syntax errors.
+module_def parse_module( const std::string& source );
+
+} // namespace qsyn::verilog

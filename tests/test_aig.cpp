@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include "logic/aig.hpp"
+
+using namespace qsyn;
+
+TEST( aig, constant_folding )
+{
+  aig_network aig( 2 );
+  const auto a = aig.pi( 0 );
+  EXPECT_EQ( aig.create_and( a, aig_network::const0 ), aig_network::const0 );
+  EXPECT_EQ( aig.create_and( a, aig_network::const1 ), a );
+  EXPECT_EQ( aig.create_and( a, a ), a );
+  EXPECT_EQ( aig.create_and( a, lit_not( a ) ), aig_network::const0 );
+  EXPECT_EQ( aig.num_ands(), 0u );
+}
+
+TEST( aig, structural_hashing )
+{
+  aig_network aig( 2 );
+  const auto a = aig.pi( 0 );
+  const auto b = aig.pi( 1 );
+  const auto g1 = aig.create_and( a, b );
+  const auto g2 = aig.create_and( b, a ); // commuted
+  EXPECT_EQ( g1, g2 );
+  EXPECT_EQ( aig.num_ands(), 1u );
+}
+
+TEST( aig, xor_simulation )
+{
+  aig_network aig( 2 );
+  const auto f = aig.create_xor( aig.pi( 0 ), aig.pi( 1 ) );
+  aig.add_po( f );
+  const auto tts = aig.simulate_outputs();
+  EXPECT_EQ( tts[0].to_binary(), "0110" );
+}
+
+TEST( aig, mux_and_maj_simulation )
+{
+  aig_network aig( 3 );
+  const auto s = aig.pi( 0 );
+  const auto t = aig.pi( 1 );
+  const auto e = aig.pi( 2 );
+  aig.add_po( aig.create_mux( s, t, e ) );
+  aig.add_po( aig.create_maj( s, t, e ) );
+  const auto tts = aig.simulate_outputs();
+  for ( std::uint64_t i = 0; i < 8; ++i )
+  {
+    const bool sv = i & 1u, tv = i & 2u, ev = i & 4u;
+    EXPECT_EQ( tts[0].get_bit( i ), sv ? tv : ev );
+    EXPECT_EQ( tts[1].get_bit( i ), ( sv && tv ) || ( sv && ev ) || ( tv && ev ) );
+  }
+}
+
+TEST( aig, nary_builders )
+{
+  aig_network aig( 5 );
+  std::vector<aig_lit> lits;
+  for ( unsigned i = 0; i < 5; ++i )
+  {
+    lits.push_back( aig.pi( i ) );
+  }
+  aig.add_po( aig.create_nary_and( lits ) );
+  aig.add_po( aig.create_nary_or( lits ) );
+  aig.add_po( aig.create_nary_xor( lits ) );
+  const auto tts = aig.simulate_outputs();
+  for ( std::uint64_t i = 0; i < 32; ++i )
+  {
+    EXPECT_EQ( tts[0].get_bit( i ), i == 31u );
+    EXPECT_EQ( tts[1].get_bit( i ), i != 0u );
+    EXPECT_EQ( tts[2].get_bit( i ), popcount64( i ) % 2 == 1 );
+  }
+}
+
+TEST( aig, nary_empty_cases )
+{
+  aig_network aig( 1 );
+  EXPECT_EQ( aig.create_nary_and( {} ), aig_network::const1 );
+  EXPECT_EQ( aig.create_nary_or( {} ), aig_network::const0 );
+  EXPECT_EQ( aig.create_nary_xor( {} ), aig_network::const0 );
+}
+
+TEST( aig, pattern_simulation_matches_tt )
+{
+  aig_network aig( 3 );
+  const auto f =
+      aig.create_or( aig.create_and( aig.pi( 0 ), aig.pi( 1 ) ), lit_not( aig.pi( 2 ) ) );
+  aig.add_po( f );
+  const auto tts = aig.simulate_outputs();
+  // Patterns enumerating all 8 assignments in one 64-bit word.
+  std::vector<std::uint64_t> patterns( 3 );
+  for ( unsigned v = 0; v < 3; ++v )
+  {
+    patterns[v] = projections[v];
+  }
+  const auto words = aig.simulate_patterns( patterns );
+  for ( std::uint64_t i = 0; i < 8; ++i )
+  {
+    EXPECT_EQ( ( words[0] >> i ) & 1u, tts[0].get_bit( i ) );
+  }
+}
+
+TEST( aig, evaluate_single_assignment )
+{
+  aig_network aig( 2 );
+  aig.add_po( aig.create_and( aig.pi( 0 ), lit_not( aig.pi( 1 ) ) ) );
+  EXPECT_EQ( aig.evaluate( { true, false } ), std::vector<bool>{ true } );
+  EXPECT_EQ( aig.evaluate( { true, true } ), std::vector<bool>{ false } );
+}
+
+TEST( aig, cleanup_removes_dangling )
+{
+  aig_network aig( 3 );
+  const auto used = aig.create_and( aig.pi( 0 ), aig.pi( 1 ) );
+  aig.create_and( aig.pi( 1 ), aig.pi( 2 ) ); // dangling
+  aig.add_po( used );
+  EXPECT_EQ( aig.num_ands(), 2u );
+  const auto before = aig.simulate_outputs();
+  const auto clean = aig.cleanup();
+  EXPECT_EQ( clean.num_ands(), 1u );
+  EXPECT_EQ( clean.simulate_outputs(), before );
+}
+
+TEST( aig, cleanup_preserves_complemented_pos )
+{
+  aig_network aig( 2 );
+  const auto g = aig.create_or( aig.pi( 0 ), aig.pi( 1 ) );
+  aig.add_po( lit_not( g ) );
+  aig.add_po( aig_network::const1 );
+  const auto clean = aig.cleanup();
+  EXPECT_EQ( clean.simulate_outputs(), aig.simulate_outputs() );
+}
+
+TEST( aig, levels_and_depth )
+{
+  aig_network aig( 4 );
+  auto f = aig.create_and( aig.pi( 0 ), aig.pi( 1 ) );
+  f = aig.create_and( f, aig.pi( 2 ) );
+  f = aig.create_and( f, aig.pi( 3 ) );
+  aig.add_po( f );
+  EXPECT_EQ( aig.depth(), 3u );
+}
+
+TEST( aig, fanout_counts_include_pos )
+{
+  aig_network aig( 2 );
+  const auto g = aig.create_and( aig.pi( 0 ), aig.pi( 1 ) );
+  aig.add_po( g );
+  aig.add_po( g );
+  const auto counts = aig.fanout_counts();
+  EXPECT_EQ( counts[lit_node( g )], 2u );
+  EXPECT_EQ( counts[1], 1u ); // pi 0 feeds the AND once
+}
+
+TEST( aig, add_pi_after_gates_throws )
+{
+  aig_network aig( 1 );
+  aig.create_and( aig.pi( 0 ), aig_network::const1 ); // folded, no node
+  aig.add_pi();                                       // still fine
+  aig.create_and( aig.pi( 0 ), aig.pi( 1 ) );
+  EXPECT_THROW( aig.add_pi(), std::logic_error );
+}
+
+TEST( aig, dot_output_contains_nodes )
+{
+  aig_network aig( 2 );
+  aig.add_po( aig.create_and( aig.pi( 0 ), aig.pi( 1 ) ) );
+  const auto dot = aig.to_dot();
+  EXPECT_NE( dot.find( "digraph" ), std::string::npos );
+  EXPECT_NE( dot.find( "x0" ), std::string::npos );
+  EXPECT_NE( dot.find( "y0" ), std::string::npos );
+}

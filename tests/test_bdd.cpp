@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "bdd/bdd.hpp"
+#include "logic/aig.hpp"
+#include "synth/collapse.hpp"
+
+using namespace qsyn;
+
+TEST( bdd, constants_and_vars )
+{
+  bdd_manager mgr( 3 );
+  EXPECT_TRUE( mgr.is_constant( mgr.constant( false ) ) );
+  EXPECT_TRUE( mgr.is_constant( mgr.constant( true ) ) );
+  const auto x1 = mgr.var( 1 );
+  EXPECT_EQ( mgr.top_var( x1 ), 1u );
+  EXPECT_EQ( mgr.low( x1 ), mgr.constant( false ) );
+  EXPECT_EQ( mgr.high( x1 ), mgr.constant( true ) );
+}
+
+TEST( bdd, hash_consing_dedups )
+{
+  bdd_manager mgr( 2 );
+  const auto a = mgr.var( 0 );
+  const auto b = mgr.var( 1 );
+  const auto f1 = mgr.bdd_and( a, b );
+  const auto f2 = mgr.bdd_and( b, a );
+  EXPECT_EQ( f1, f2 );
+}
+
+TEST( bdd, boolean_ops_match_truth_tables )
+{
+  bdd_manager mgr( 3 );
+  const auto a = mgr.var( 0 );
+  const auto b = mgr.var( 1 );
+  const auto c = mgr.var( 2 );
+  const auto f = mgr.bdd_or( mgr.bdd_and( a, b ), mgr.bdd_xor( b, c ) );
+  const auto ta = truth_table::projection( 3, 0 );
+  const auto tb = truth_table::projection( 3, 1 );
+  const auto tc = truth_table::projection( 3, 2 );
+  const auto expected = ( ta & tb ) | ( tb ^ tc );
+  EXPECT_EQ( mgr.to_truth_table( f ), expected );
+}
+
+TEST( bdd, ite_identities )
+{
+  bdd_manager mgr( 2 );
+  const auto a = mgr.var( 0 );
+  const auto b = mgr.var( 1 );
+  EXPECT_EQ( mgr.ite( mgr.constant( true ), a, b ), a );
+  EXPECT_EQ( mgr.ite( mgr.constant( false ), a, b ), b );
+  EXPECT_EQ( mgr.ite( a, mgr.constant( true ), mgr.constant( false ) ), a );
+  EXPECT_EQ( mgr.ite( a, b, b ), b );
+}
+
+TEST( bdd, negation_involution )
+{
+  bdd_manager mgr( 3 );
+  const auto f = mgr.bdd_xor( mgr.var( 0 ), mgr.bdd_and( mgr.var( 1 ), mgr.var( 2 ) ) );
+  EXPECT_EQ( mgr.bdd_not( mgr.bdd_not( f ) ), f );
+}
+
+TEST( bdd, cofactor_matches_truth_table )
+{
+  bdd_manager mgr( 3 );
+  const auto f =
+      mgr.bdd_or( mgr.bdd_and( mgr.var( 0 ), mgr.var( 1 ) ), mgr.var( 2 ) );
+  const auto tt = mgr.to_truth_table( f );
+  for ( unsigned v = 0; v < 3; ++v )
+  {
+    for ( const bool pol : { false, true } )
+    {
+      EXPECT_EQ( mgr.to_truth_table( mgr.cofactor( f, v, pol ) ), tt.cofactor( v, pol ) );
+    }
+  }
+}
+
+TEST( bdd, sat_count_simple )
+{
+  bdd_manager mgr( 3 );
+  const auto a = mgr.var( 0 );
+  const auto b = mgr.var( 1 );
+  EXPECT_DOUBLE_EQ( mgr.sat_count( mgr.constant( true ) ), 8.0 );
+  EXPECT_DOUBLE_EQ( mgr.sat_count( mgr.constant( false ) ), 0.0 );
+  EXPECT_DOUBLE_EQ( mgr.sat_count( a ), 4.0 );
+  EXPECT_DOUBLE_EQ( mgr.sat_count( mgr.bdd_and( a, b ) ), 2.0 );
+  EXPECT_DOUBLE_EQ( mgr.sat_count( mgr.bdd_or( a, b ) ), 6.0 );
+  EXPECT_DOUBLE_EQ( mgr.sat_count( mgr.bdd_xor( a, b ) ), 4.0 );
+}
+
+TEST( bdd, sat_count_skipped_levels )
+{
+  // f = x2 alone in a 4-variable manager: count must scale by skipped vars.
+  bdd_manager mgr( 4 );
+  EXPECT_DOUBLE_EQ( mgr.sat_count( mgr.var( 2 ) ), 8.0 );
+}
+
+TEST( bdd, sat_count_matches_truth_table_ones )
+{
+  bdd_manager mgr( 5 );
+  auto f = mgr.constant( false );
+  // f = majority-ish mix
+  f = mgr.bdd_or( f, mgr.bdd_and( mgr.var( 0 ), mgr.var( 3 ) ) );
+  f = mgr.bdd_xor( f, mgr.bdd_and( mgr.var( 1 ), mgr.bdd_not( mgr.var( 4 ) ) ) );
+  const auto tt = mgr.to_truth_table( f );
+  EXPECT_DOUBLE_EQ( mgr.sat_count( f ), static_cast<double>( tt.count_ones() ) );
+}
+
+TEST( bdd, from_truth_table_roundtrip )
+{
+  bdd_manager mgr( 4 );
+  const auto tt = truth_table::from_binary_string( "0110100110010110" );
+  const auto f = mgr.from_truth_table( tt );
+  EXPECT_EQ( mgr.to_truth_table( f ), tt );
+}
+
+TEST( bdd, evaluate_paths )
+{
+  bdd_manager mgr( 3 );
+  const auto f = mgr.bdd_and( mgr.var( 0 ), mgr.bdd_not( mgr.var( 2 ) ) );
+  EXPECT_TRUE( mgr.evaluate( f, 0b001 ) );
+  EXPECT_TRUE( mgr.evaluate( f, 0b011 ) );
+  EXPECT_FALSE( mgr.evaluate( f, 0b101 ) );
+  EXPECT_FALSE( mgr.evaluate( f, 0b000 ) );
+}
+
+TEST( bdd, size_counts_shared_nodes )
+{
+  bdd_manager mgr( 3 );
+  const auto f = mgr.bdd_xor( mgr.var( 0 ), mgr.bdd_xor( mgr.var( 1 ), mgr.var( 2 ) ) );
+  // Parity of 3 variables: BDD has exactly 2 nodes per level + ... known
+  // structure: levels 0,1 have shared nodes; just check it is small and
+  // positive.
+  const auto size = mgr.size( f );
+  EXPECT_GE( size, 3u );
+  EXPECT_LE( size, 7u );
+}
+
+TEST( bdd, collapse_aig_matches_simulation )
+{
+  aig_network aig( 4 );
+  const auto f0 = aig.create_xor( aig.pi( 0 ), aig.pi( 1 ) );
+  const auto f1 = aig.create_and( aig.create_or( aig.pi( 2 ), aig.pi( 3 ) ), f0 );
+  aig.add_po( f0 );
+  aig.add_po( lit_not( f1 ) );
+  bdd_manager mgr( 4 );
+  const auto bdds = collapse_to_bdds( aig, mgr );
+  const auto tts = aig.simulate_outputs();
+  ASSERT_EQ( bdds.size(), 2u );
+  EXPECT_EQ( mgr.to_truth_table( bdds[0] ), tts[0] );
+  EXPECT_EQ( mgr.to_truth_table( bdds[1] ), tts[1] );
+}
+
+TEST( bdd, collapse_with_offset )
+{
+  aig_network aig( 2 );
+  aig.add_po( aig.create_and( aig.pi( 0 ), aig.pi( 1 ) ) );
+  bdd_manager mgr( 5 );
+  const auto bdds = collapse_to_bdds( aig, mgr, 3 );
+  // PI i maps to var 3 + i.
+  EXPECT_TRUE( mgr.evaluate( bdds[0], 0b11000 ) );
+  EXPECT_FALSE( mgr.evaluate( bdds[0], 0b01000 ) );
+}

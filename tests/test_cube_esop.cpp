@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "logic/cube.hpp"
+
+using namespace qsyn;
+
+TEST( cube, empty_cube_is_constant_one )
+{
+  cube c;
+  EXPECT_EQ( c.num_literals(), 0 );
+  for ( std::uint64_t i = 0; i < 8; ++i )
+  {
+    EXPECT_TRUE( c.evaluate( i ) );
+  }
+  EXPECT_EQ( c.to_string(), "1" );
+}
+
+TEST( cube, add_remove_literals )
+{
+  cube c;
+  c.add_literal( 0, true );
+  c.add_literal( 2, false );
+  EXPECT_EQ( c.num_literals(), 2 );
+  EXPECT_TRUE( c.has_var( 0 ) );
+  EXPECT_TRUE( c.var_polarity( 0 ) );
+  EXPECT_TRUE( c.has_var( 2 ) );
+  EXPECT_FALSE( c.var_polarity( 2 ) );
+  EXPECT_EQ( c.to_string(), "x0 !x2" );
+  c.remove_literal( 0 );
+  EXPECT_EQ( c.num_literals(), 1 );
+  EXPECT_FALSE( c.has_var( 0 ) );
+}
+
+TEST( cube, evaluate_mixed_polarity )
+{
+  cube c;
+  c.add_literal( 1, true );
+  c.add_literal( 3, false );
+  // true iff bit1 == 1 and bit3 == 0
+  EXPECT_TRUE( c.evaluate( 0b0010 ) );
+  EXPECT_FALSE( c.evaluate( 0b1010 ) );
+  EXPECT_FALSE( c.evaluate( 0b0000 ) );
+  EXPECT_TRUE( c.evaluate( 0b0110 ) );
+}
+
+TEST( cube, distance_definition )
+{
+  cube a;
+  a.add_literal( 0, true );
+  a.add_literal( 1, true );
+  cube b;
+  b.add_literal( 0, false );
+  b.add_literal( 1, true );
+  EXPECT_EQ( a.distance( b ), 1 ); // opposite polarity at var 0
+  cube c;
+  c.add_literal( 1, true );
+  EXPECT_EQ( a.distance( c ), 1 ); // var 0 only in a
+  EXPECT_EQ( b.distance( c ), 1 );
+  cube d;
+  d.add_literal( 2, false );
+  EXPECT_EQ( a.distance( d ), 3 ); // vars 0, 1 (only a) and 2 (only d)
+  EXPECT_EQ( a.distance( a ), 0 );
+}
+
+TEST( cube, to_truth_table )
+{
+  cube c;
+  c.add_literal( 0, true );
+  c.add_literal( 2, false );
+  const auto tt = c.to_truth_table( 3 );
+  for ( std::uint64_t i = 0; i < 8; ++i )
+  {
+    EXPECT_EQ( tt.get_bit( i ), c.evaluate( i ) );
+  }
+}
+
+TEST( esop, evaluate_and_truth_table_agree )
+{
+  esop e;
+  e.num_inputs = 3;
+  e.num_outputs = 2;
+  cube c1;
+  c1.add_literal( 0, true );
+  cube c2;
+  c2.add_literal( 1, true );
+  c2.add_literal( 2, false );
+  e.terms.push_back( { c1, 0b01 } );
+  e.terms.push_back( { c2, 0b11 } );
+  e.terms.push_back( { cube{}, 0b10 } ); // constant-1 term into output 1
+  for ( unsigned o = 0; o < 2; ++o )
+  {
+    const auto tt = e.output_truth_table( o );
+    for ( std::uint64_t i = 0; i < 8; ++i )
+    {
+      EXPECT_EQ( tt.get_bit( i ), e.evaluate( i, o ) );
+    }
+  }
+}
+
+TEST( esop, merge_identical_cubes_xors_masks )
+{
+  esop e;
+  e.num_inputs = 2;
+  e.num_outputs = 2;
+  cube c;
+  c.add_literal( 0, true );
+  e.terms.push_back( { c, 0b01 } );
+  e.terms.push_back( { c, 0b11 } );
+  const auto before0 = e.output_truth_table( 0 );
+  const auto before1 = e.output_truth_table( 1 );
+  const auto removed = e.merge_identical_cubes();
+  EXPECT_EQ( removed, 1u );
+  EXPECT_EQ( e.num_terms(), 1u );
+  EXPECT_EQ( e.terms[0].output_mask, 0b10u );
+  EXPECT_EQ( e.output_truth_table( 0 ), before0 );
+  EXPECT_EQ( e.output_truth_table( 1 ), before1 );
+}
+
+TEST( esop, merge_drops_cancelled_terms )
+{
+  esop e;
+  e.num_inputs = 1;
+  e.num_outputs = 1;
+  cube c;
+  c.add_literal( 0, true );
+  e.terms.push_back( { c, 1u } );
+  e.terms.push_back( { c, 1u } );
+  e.merge_identical_cubes();
+  EXPECT_EQ( e.num_terms(), 0u );
+}
+
+TEST( esop, literal_count_weights_outputs )
+{
+  esop e;
+  e.num_inputs = 3;
+  e.num_outputs = 2;
+  cube c;
+  c.add_literal( 0, true );
+  c.add_literal( 1, false );
+  e.terms.push_back( { c, 0b11 } ); // 2 literals x 2 outputs
+  EXPECT_EQ( e.num_literals(), 4u );
+}

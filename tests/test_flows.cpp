@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include "core/dse.hpp"
+#include "core/flows.hpp"
+#include "verilog/elaborator.hpp"
+
+using namespace qsyn;
+
+TEST( flows, functional_flow_verifies_and_is_line_optimum )
+{
+  flow_params params;
+  params.kind = flow_kind::functional;
+  for ( const unsigned n : { 3u, 4u, 5u } )
+  {
+    const auto result = run_reciprocal_flow( reciprocal_design::intdiv, n, params );
+    EXPECT_TRUE( result.verified ) << "n=" << n;
+    // The Table II observation: optimum embedding uses 2n-1 qubits.
+    EXPECT_EQ( result.costs.qubits, 2u * n - 1u ) << "n=" << n;
+    EXPECT_EQ( result.embedding_lines, 2u * n - 1u );
+  }
+}
+
+TEST( flows, esop_flow_uses_2n_qubits_at_p0 )
+{
+  flow_params params;
+  params.kind = flow_kind::esop_based;
+  for ( const unsigned n : { 3u, 4u, 5u } )
+  {
+    const auto result = run_reciprocal_flow( reciprocal_design::intdiv, n, params );
+    EXPECT_TRUE( result.verified ) << "n=" << n;
+    EXPECT_EQ( result.costs.qubits, 2u * n ) << "n=" << n; // Table III, p = 0
+  }
+}
+
+TEST( flows, esop_p1_adds_lines )
+{
+  flow_params p0;
+  p0.kind = flow_kind::esop_based;
+  p0.esop_p = 0;
+  flow_params p1 = p0;
+  p1.esop_p = 2;
+  const auto r0 = run_reciprocal_flow( reciprocal_design::intdiv, 5, p0 );
+  const auto r1 = run_reciprocal_flow( reciprocal_design::intdiv, 5, p1 );
+  EXPECT_TRUE( r0.verified );
+  EXPECT_TRUE( r1.verified );
+  EXPECT_GE( r1.costs.qubits, r0.costs.qubits ); // factoring costs lines
+}
+
+TEST( flows, hierarchical_flow_all_cleanups_verify )
+{
+  for ( const auto cleanup : { cleanup_strategy::keep_garbage, cleanup_strategy::bennett,
+                               cleanup_strategy::eager } )
+  {
+    flow_params params;
+    params.kind = flow_kind::hierarchical;
+    params.cleanup = cleanup;
+    const auto result = run_reciprocal_flow( reciprocal_design::intdiv, 4, params );
+    EXPECT_TRUE( result.verified );
+    EXPECT_GT( result.xmg_maj + result.xmg_xor, 0u );
+  }
+}
+
+TEST( flows, newton_design_through_flows )
+{
+  for ( const auto kind : { flow_kind::functional, flow_kind::esop_based,
+                            flow_kind::hierarchical } )
+  {
+    flow_params params;
+    params.kind = kind;
+    const auto result = run_reciprocal_flow( reciprocal_design::newton, 4, params );
+    EXPECT_TRUE( result.verified );
+  }
+}
+
+TEST( flows, qubit_t_count_ordering_matches_paper )
+{
+  // Sec. V: functional has fewest qubits but by far the largest T-count;
+  // ESOP sits between the flows on qubits; hierarchical pays the most
+  // qubits.  (ESOP vs. hierarchical T-count flips with n — Table III/IV —
+  // so only the functional flow's extremes are asserted.)
+  const unsigned n = 5;
+  flow_params functional;
+  functional.kind = flow_kind::functional;
+  flow_params esop;
+  esop.kind = flow_kind::esop_based;
+  flow_params hier;
+  hier.kind = flow_kind::hierarchical;
+  const auto rf = run_reciprocal_flow( reciprocal_design::intdiv, n, functional );
+  const auto re = run_reciprocal_flow( reciprocal_design::intdiv, n, esop );
+  const auto rh = run_reciprocal_flow( reciprocal_design::intdiv, n, hier );
+  EXPECT_LT( rf.costs.qubits, re.costs.qubits );
+  EXPECT_LT( re.costs.qubits, rh.costs.qubits );
+  EXPECT_GT( rf.costs.t_count, re.costs.t_count );
+  EXPECT_GT( rf.costs.t_count, rh.costs.t_count );
+}
+
+TEST( flows, optimization_reduces_aig )
+{
+  flow_params params;
+  params.kind = flow_kind::esop_based;
+  const auto result = run_reciprocal_flow( reciprocal_design::intdiv, 5, params );
+  EXPECT_LE( result.aig_nodes_optimized, result.aig_nodes_initial );
+}
+
+TEST( flows, custom_verilog_through_flow )
+{
+  const std::string source = R"(
+    module popcount(input [4:0] x, output [2:0] y);
+      assign y = {1'b0, {1'b0, x[0]} + {1'b0, x[1]}} + {1'b0, {1'b0, x[2]} + {1'b0, x[3]}} + {2'b00, x[4]};
+    endmodule
+  )";
+  for ( const auto kind : { flow_kind::functional, flow_kind::esop_based,
+                            flow_kind::hierarchical } )
+  {
+    flow_params params;
+    params.kind = kind;
+    const auto result = run_flow_on_verilog( source, params );
+    EXPECT_TRUE( result.verified );
+  }
+}
+
+TEST( dse, exploration_produces_all_points )
+{
+  const auto mod = verilog::elaborate_verilog( reciprocal_verilog( reciprocal_design::intdiv, 4 ) );
+  const auto configs = default_dse_configurations( true );
+  const auto points = explore( mod.aig, configs );
+  EXPECT_EQ( points.size(), configs.size() );
+  for ( const auto& p : points )
+  {
+    EXPECT_TRUE( p.result.verified ) << p.label;
+  }
+}
+
+TEST( dse, pareto_front_contains_extremes )
+{
+  const auto mod = verilog::elaborate_verilog( reciprocal_verilog( reciprocal_design::intdiv, 4 ) );
+  const auto points = explore( mod.aig, default_dse_configurations( true ) );
+  const auto front = pareto_front( points );
+  EXPECT_GE( front.size(), 2u ); // at least the two extremes of the tradeoff
+  // The minimum-qubit and minimum-T points must be on the frontier.
+  std::size_t min_q = 0;
+  std::size_t min_t = 0;
+  for ( std::size_t i = 1; i < points.size(); ++i )
+  {
+    if ( points[i].result.costs.qubits < points[min_q].result.costs.qubits )
+    {
+      min_q = i;
+    }
+    if ( points[i].result.costs.t_count < points[min_t].result.costs.t_count )
+    {
+      min_t = i;
+    }
+  }
+  EXPECT_NE( std::find( front.begin(), front.end(), min_q ), front.end() );
+  EXPECT_NE( std::find( front.begin(), front.end(), min_t ), front.end() );
+}
+
+TEST( dse, table_formatting )
+{
+  const auto mod = verilog::elaborate_verilog( reciprocal_verilog( reciprocal_design::intdiv, 3 ) );
+  std::vector<flow_params> configs;
+  flow_params esop;
+  esop.kind = flow_kind::esop_based;
+  configs.push_back( esop );
+  const auto points = explore( mod.aig, configs );
+  const auto table = format_dse_table( points );
+  EXPECT_NE( table.find( "esop(p=0)" ), std::string::npos );
+  EXPECT_NE( table.find( "qubits" ), std::string::npos );
+}
+
+TEST( flows, tbs_unidirectional_option )
+{
+  flow_params params;
+  params.kind = flow_kind::functional;
+  params.bidirectional_tbs = false;
+  const auto result = run_reciprocal_flow( reciprocal_design::intdiv, 4, params );
+  EXPECT_TRUE( result.verified );
+}
+
+TEST( flows, exorcism_toggle )
+{
+  flow_params with;
+  with.kind = flow_kind::esop_based;
+  with.run_exorcism = true;
+  flow_params without = with;
+  without.run_exorcism = false;
+  const auto r_with = run_reciprocal_flow( reciprocal_design::intdiv, 5, with );
+  const auto r_without = run_reciprocal_flow( reciprocal_design::intdiv, 5, without );
+  EXPECT_TRUE( r_with.verified );
+  EXPECT_TRUE( r_without.verified );
+  EXPECT_LE( r_with.esop_terms, r_without.esop_terms );
+}

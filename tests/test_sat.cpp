@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "sat/cnf.hpp"
+#include "sat/solver.hpp"
+
+using namespace qsyn;
+using namespace qsyn::sat;
+
+TEST( sat, trivially_satisfiable )
+{
+  solver s;
+  const auto a = s.new_var();
+  const auto b = s.new_var();
+  s.add_clause( { pos_lit( a ), pos_lit( b ) } );
+  EXPECT_EQ( s.solve(), result::satisfiable );
+  EXPECT_TRUE( s.model_value( a ) || s.model_value( b ) );
+}
+
+TEST( sat, empty_instance_is_sat )
+{
+  solver s;
+  EXPECT_EQ( s.solve(), result::satisfiable );
+}
+
+TEST( sat, unit_propagation_chain )
+{
+  solver s;
+  const auto a = s.new_var();
+  const auto b = s.new_var();
+  const auto c = s.new_var();
+  s.add_clause( { pos_lit( a ) } );
+  s.add_clause( { neg_lit( a ), pos_lit( b ) } );
+  s.add_clause( { neg_lit( b ), pos_lit( c ) } );
+  EXPECT_EQ( s.solve(), result::satisfiable );
+  EXPECT_TRUE( s.model_value( a ) );
+  EXPECT_TRUE( s.model_value( b ) );
+  EXPECT_TRUE( s.model_value( c ) );
+}
+
+TEST( sat, contradiction_unsat )
+{
+  solver s;
+  const auto a = s.new_var();
+  s.add_clause( { pos_lit( a ) } );
+  EXPECT_FALSE( s.add_clause( { neg_lit( a ) } ) );
+  EXPECT_EQ( s.solve(), result::unsatisfiable );
+}
+
+TEST( sat, xor_chain_unsat )
+{
+  // (a xor b)(b xor c)(c xor a) forced odd: encode xor via 2 clauses each
+  // plus parity contradiction a xor a = 1.
+  solver s;
+  const auto a = s.new_var();
+  const auto b = s.new_var();
+  const auto c = s.new_var();
+  const auto add_xor_true = [&]( std::uint32_t x, std::uint32_t y ) {
+    s.add_clause( { pos_lit( x ), pos_lit( y ) } );
+    s.add_clause( { neg_lit( x ), neg_lit( y ) } );
+  };
+  add_xor_true( a, b );
+  add_xor_true( b, c );
+  add_xor_true( c, a );
+  EXPECT_EQ( s.solve(), result::unsatisfiable );
+}
+
+TEST( sat, pigeonhole_3_into_2 )
+{
+  // Pigeons p in {0,1,2}, holes h in {0,1}; var(p,h).
+  solver s;
+  std::uint32_t v[3][2];
+  for ( auto& row : v )
+  {
+    for ( auto& x : row )
+    {
+      x = s.new_var();
+    }
+  }
+  for ( int p = 0; p < 3; ++p )
+  {
+    s.add_clause( { pos_lit( v[p][0] ), pos_lit( v[p][1] ) } );
+  }
+  for ( int h = 0; h < 2; ++h )
+  {
+    for ( int p1 = 0; p1 < 3; ++p1 )
+    {
+      for ( int p2 = p1 + 1; p2 < 3; ++p2 )
+      {
+        s.add_clause( { neg_lit( v[p1][h] ), neg_lit( v[p2][h] ) } );
+      }
+    }
+  }
+  EXPECT_EQ( s.solve(), result::unsatisfiable );
+}
+
+TEST( sat, assumptions_select_branch )
+{
+  solver s;
+  const auto a = s.new_var();
+  const auto b = s.new_var();
+  s.add_clause( { pos_lit( a ), pos_lit( b ) } );
+  s.add_clause( { neg_lit( a ), neg_lit( b ) } );
+  EXPECT_EQ( s.solve( { pos_lit( a ) } ), result::satisfiable );
+  EXPECT_TRUE( s.model_value( a ) );
+  EXPECT_FALSE( s.model_value( b ) );
+  EXPECT_EQ( s.solve( { pos_lit( a ), pos_lit( b ) } ), result::unsatisfiable );
+  // Solver remains usable after UNSAT under assumptions.
+  EXPECT_EQ( s.solve( { neg_lit( a ) } ), result::satisfiable );
+  EXPECT_TRUE( s.model_value( b ) );
+}
+
+TEST( sat, random_3cnf_vs_brute_force )
+{
+  std::mt19937_64 rng( 7 );
+  for ( int instance = 0; instance < 30; ++instance )
+  {
+    const unsigned num_vars = 8;
+    const unsigned num_clauses = 28;
+    std::vector<std::vector<literal>> clauses;
+    for ( unsigned c = 0; c < num_clauses; ++c )
+    {
+      std::vector<literal> clause;
+      for ( int k = 0; k < 3; ++k )
+      {
+        const auto var = static_cast<std::uint32_t>( rng() % num_vars );
+        clause.push_back( ( rng() & 1u ) ? pos_lit( var ) : neg_lit( var ) );
+      }
+      clauses.push_back( clause );
+    }
+    // Brute force.
+    bool brute_sat = false;
+    for ( std::uint32_t assign = 0; assign < ( 1u << num_vars ) && !brute_sat; ++assign )
+    {
+      bool all = true;
+      for ( const auto& clause : clauses )
+      {
+        bool any = false;
+        for ( const auto l : clause )
+        {
+          const bool val = ( assign >> lit_var( l ) ) & 1u;
+          if ( val != lit_sign( l ) )
+          {
+            any = true;
+            break;
+          }
+        }
+        if ( !any )
+        {
+          all = false;
+          break;
+        }
+      }
+      brute_sat = all;
+    }
+    solver s;
+    for ( unsigned v = 0; v < num_vars; ++v )
+    {
+      s.new_var();
+    }
+    bool consistent = true;
+    for ( const auto& clause : clauses )
+    {
+      consistent = s.add_clause( clause ) && consistent;
+    }
+    const auto res = s.solve();
+    EXPECT_EQ( res == result::satisfiable, brute_sat ) << "instance " << instance;
+    if ( res == result::satisfiable )
+    {
+      // Verify the model.
+      for ( const auto& clause : clauses )
+      {
+        bool any = false;
+        for ( const auto l : clause )
+        {
+          if ( s.model_value( lit_var( l ) ) != lit_sign( l ) )
+          {
+            any = true;
+          }
+        }
+        EXPECT_TRUE( any );
+      }
+    }
+  }
+}
+
+TEST( cec, equivalent_networks )
+{
+  aig_network a( 3 );
+  a.add_po( a.create_maj( a.pi( 0 ), a.pi( 1 ), a.pi( 2 ) ) );
+  aig_network b( 3 );
+  // maj via mux: s ? (t | e) : (t & e) with s = pi0
+  const auto t_or_e = b.create_or( b.pi( 1 ), b.pi( 2 ) );
+  const auto t_and_e = b.create_and( b.pi( 1 ), b.pi( 2 ) );
+  b.add_po( b.create_mux( b.pi( 0 ), t_or_e, t_and_e ) );
+  const auto result = check_equivalence( a, b );
+  EXPECT_TRUE( result.equivalent );
+}
+
+TEST( cec, inequivalent_with_counterexample )
+{
+  aig_network a( 2 );
+  a.add_po( a.create_and( a.pi( 0 ), a.pi( 1 ) ) );
+  aig_network b( 2 );
+  b.add_po( b.create_or( b.pi( 0 ), b.pi( 1 ) ) );
+  const auto result = check_equivalence( a, b );
+  EXPECT_FALSE( result.equivalent );
+  ASSERT_TRUE( result.counterexample.has_value() );
+  // The counterexample must actually distinguish the networks.
+  const auto va = a.evaluate( *result.counterexample );
+  const auto vb = b.evaluate( *result.counterexample );
+  EXPECT_NE( va, vb );
+}
+
+TEST( cec, multi_output_differs_in_one )
+{
+  aig_network a( 2 );
+  a.add_po( a.create_xor( a.pi( 0 ), a.pi( 1 ) ) );
+  a.add_po( a.create_and( a.pi( 0 ), a.pi( 1 ) ) );
+  aig_network b( 2 );
+  b.add_po( b.create_xor( b.pi( 0 ), b.pi( 1 ) ) );
+  b.add_po( b.create_and( b.pi( 0 ), lit_not( b.pi( 1 ) ) ) );
+  EXPECT_FALSE( check_equivalence( a, b ).equivalent );
+}
+
+TEST( cec, interface_mismatch_throws )
+{
+  aig_network a( 2 );
+  a.add_po( a.pi( 0 ) );
+  aig_network b( 3 );
+  b.add_po( b.pi( 0 ) );
+  EXPECT_THROW( check_equivalence( a, b ), std::invalid_argument );
+}

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+
+#include "embed/embedding.hpp"
+#include "rsynth/tbs.hpp"
+#include "verilog/elaborator.hpp"
+#include "verilog/generators.hpp"
+
+using namespace qsyn;
+
+namespace
+{
+
+std::vector<std::uint64_t> random_permutation( unsigned lines, std::uint64_t seed )
+{
+  std::vector<std::uint64_t> perm( std::uint64_t{ 1 } << lines );
+  std::iota( perm.begin(), perm.end(), 0u );
+  std::mt19937_64 rng( seed );
+  std::shuffle( perm.begin(), perm.end(), rng );
+  return perm;
+}
+
+} // namespace
+
+TEST( tbs, identity_permutation_yields_empty_circuit )
+{
+  std::vector<std::uint64_t> perm( 8 );
+  std::iota( perm.begin(), perm.end(), 0u );
+  const auto circuit = tbs_synthesize( perm );
+  EXPECT_EQ( circuit.num_gates(), 0u );
+  EXPECT_EQ( circuit.num_lines(), 3u );
+}
+
+TEST( tbs, single_not )
+{
+  // perm flipping bit 0 everywhere.
+  std::vector<std::uint64_t> perm( 4 );
+  for ( std::uint64_t i = 0; i < 4; ++i )
+  {
+    perm[i] = i ^ 1u;
+  }
+  const auto circuit = tbs_synthesize( perm );
+  EXPECT_EQ( circuit.permutation(), perm );
+  EXPECT_LE( circuit.num_gates(), 1u );
+}
+
+TEST( tbs, cnot_function )
+{
+  std::vector<std::uint64_t> perm( 4 );
+  for ( std::uint64_t i = 0; i < 4; ++i )
+  {
+    perm[i] = ( i & 1u ) ? i ^ 2u : i;
+  }
+  const auto circuit = tbs_synthesize( perm );
+  EXPECT_EQ( circuit.permutation(), perm );
+}
+
+TEST( tbs, three_line_toffoli_recovered_cheaply )
+{
+  std::vector<std::uint64_t> perm( 8 );
+  std::iota( perm.begin(), perm.end(), 0u );
+  std::swap( perm[6], perm[7] ); // Toffoli(0,1 -> 2)... controls value 3
+  const auto circuit = tbs_synthesize( perm );
+  EXPECT_EQ( circuit.permutation(), perm );
+  EXPECT_LE( circuit.num_gates(), 2u );
+}
+
+TEST( tbs, rejects_non_power_of_two )
+{
+  EXPECT_THROW( tbs_synthesize( { 0, 2, 1 } ), std::invalid_argument );
+}
+
+class tbs_random : public ::testing::TestWithParam<std::tuple<unsigned, bool>>
+{
+};
+
+TEST_P( tbs_random, realizes_permutation_exactly )
+{
+  const auto [lines, bidirectional] = GetParam();
+  for ( std::uint64_t seed = 1; seed <= 6; ++seed )
+  {
+    const auto perm = random_permutation( lines, seed * 77u + lines );
+    tbs_params params;
+    params.bidirectional = bidirectional;
+    const auto circuit = tbs_synthesize( perm, params );
+    EXPECT_EQ( circuit.num_lines(), lines );
+    EXPECT_EQ( circuit.permutation(), perm ) << "lines=" << lines << " seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P( sweep, tbs_random,
+                          ::testing::Combine( ::testing::Values( 2u, 3u, 4u, 5u, 6u ),
+                                              ::testing::Bool() ) );
+
+TEST( tbs, bidirectional_not_worse_on_average )
+{
+  // Bidirectional MMD should not produce more gates in aggregate.
+  std::size_t uni_total = 0;
+  std::size_t bi_total = 0;
+  for ( std::uint64_t seed = 1; seed <= 10; ++seed )
+  {
+    const auto perm = random_permutation( 5, seed * 31u );
+    tbs_params uni;
+    uni.bidirectional = false;
+    tbs_params bi;
+    bi.bidirectional = true;
+    uni_total += tbs_synthesize( perm, uni ).num_gates();
+    bi_total += tbs_synthesize( perm, bi ).num_gates();
+  }
+  EXPECT_LE( bi_total, uni_total );
+}
+
+TEST( tbs, gates_use_positive_controls_only )
+{
+  const auto perm = random_permutation( 4, 99 );
+  const auto circuit = tbs_synthesize( perm );
+  for ( const auto& g : circuit.gates() )
+  {
+    for ( const auto& c : g.controls )
+    {
+      EXPECT_TRUE( c.positive );
+      EXPECT_NE( c.line, g.target );
+    }
+  }
+}
+
+TEST( tbs, synthesizes_embedded_reciprocal )
+{
+  // End-to-end slice of the functional flow: INTDIV(3) -> optimum embedding
+  // -> TBS -> exact permutation check.
+  const auto mod = verilog::elaborate_verilog( verilog::generate_intdiv( 3 ) );
+  const auto tts = mod.aig.simulate_outputs();
+  const auto emb = embed_optimum( tts );
+  const auto circuit = tbs_synthesize( emb.permutation );
+  EXPECT_EQ( circuit.num_lines(), emb.num_lines );
+  EXPECT_EQ( circuit.permutation(), emb.permutation );
+}
+
+TEST( tbs, involution_permutation )
+{
+  // A self-inverse permutation (bit reversal on 3 lines).
+  std::vector<std::uint64_t> perm( 8 );
+  for ( std::uint64_t i = 0; i < 8; ++i )
+  {
+    perm[i] = ( ( i & 1u ) << 2 ) | ( i & 2u ) | ( ( i >> 2 ) & 1u );
+  }
+  const auto circuit = tbs_synthesize( perm );
+  EXPECT_EQ( circuit.permutation(), perm );
+}

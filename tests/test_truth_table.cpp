@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include "logic/truth_table.hpp"
+
+using namespace qsyn;
+
+TEST( truth_table, constant_zero_default )
+{
+  truth_table tt( 3 );
+  EXPECT_EQ( tt.num_vars(), 3u );
+  EXPECT_EQ( tt.num_bits(), 8u );
+  EXPECT_TRUE( tt.is_const0() );
+  EXPECT_FALSE( tt.is_const1() );
+  EXPECT_EQ( tt.count_ones(), 0u );
+}
+
+TEST( truth_table, constant_one )
+{
+  const auto tt = truth_table::constant( 4, true );
+  EXPECT_TRUE( tt.is_const1() );
+  EXPECT_EQ( tt.count_ones(), 16u );
+}
+
+TEST( truth_table, set_get_bits )
+{
+  truth_table tt( 2 );
+  tt.set_bit( 0, true );
+  tt.set_bit( 3, true );
+  EXPECT_TRUE( tt.get_bit( 0 ) );
+  EXPECT_FALSE( tt.get_bit( 1 ) );
+  EXPECT_FALSE( tt.get_bit( 2 ) );
+  EXPECT_TRUE( tt.get_bit( 3 ) );
+  tt.set_bit( 0, false );
+  EXPECT_FALSE( tt.get_bit( 0 ) );
+}
+
+TEST( truth_table, projection_small )
+{
+  const auto x0 = truth_table::projection( 3, 0 );
+  const auto x2 = truth_table::projection( 3, 2 );
+  for ( std::uint64_t i = 0; i < 8; ++i )
+  {
+    EXPECT_EQ( x0.get_bit( i ), ( i & 1u ) != 0u );
+    EXPECT_EQ( x2.get_bit( i ), ( i & 4u ) != 0u );
+  }
+}
+
+TEST( truth_table, projection_large_variable )
+{
+  // Variable 7 needs multi-block handling (2^8 = 256 bits).
+  const auto x7 = truth_table::projection( 8, 7 );
+  for ( std::uint64_t i = 0; i < 256; ++i )
+  {
+    EXPECT_EQ( x7.get_bit( i ), ( i >> 7 ) & 1u );
+  }
+}
+
+TEST( truth_table, boolean_operations )
+{
+  const auto a = truth_table::projection( 2, 0 );
+  const auto b = truth_table::projection( 2, 1 );
+  const auto and_tt = a & b;
+  const auto or_tt = a | b;
+  const auto xor_tt = a ^ b;
+  EXPECT_EQ( and_tt.to_binary(), "1000" );
+  EXPECT_EQ( or_tt.to_binary(), "1110" );
+  EXPECT_EQ( xor_tt.to_binary(), "0110" );
+  EXPECT_EQ( ( ~a ).to_binary(), "0101" );
+}
+
+TEST( truth_table, demorgan_law )
+{
+  const auto a = truth_table::projection( 4, 1 );
+  const auto b = truth_table::projection( 4, 3 );
+  EXPECT_EQ( ~( a & b ), ~a | ~b );
+  EXPECT_EQ( ~( a | b ), ~a & ~b );
+}
+
+TEST( truth_table, from_binary_string )
+{
+  const auto tt = truth_table::from_binary_string( "0110" );
+  EXPECT_EQ( tt.num_vars(), 2u );
+  EXPECT_EQ( tt, truth_table::projection( 2, 0 ) ^ truth_table::projection( 2, 1 ) );
+  EXPECT_THROW( truth_table::from_binary_string( "011" ), std::invalid_argument );
+  EXPECT_THROW( truth_table::from_binary_string( "0a10" ), std::invalid_argument );
+}
+
+TEST( truth_table, cofactors )
+{
+  // f = x0 & x1 | x2
+  const auto x0 = truth_table::projection( 3, 0 );
+  const auto x1 = truth_table::projection( 3, 1 );
+  const auto x2 = truth_table::projection( 3, 2 );
+  const auto f = ( x0 & x1 ) | x2;
+  const auto f_x2_1 = f.cofactor( 2, true );
+  EXPECT_TRUE( f_x2_1.is_const1() );
+  const auto f_x2_0 = f.cofactor( 2, false );
+  EXPECT_EQ( f_x2_0, x0 & x1 );
+}
+
+TEST( truth_table, cofactor_high_variable )
+{
+  const auto x6 = truth_table::projection( 8, 6 );
+  const auto x1 = truth_table::projection( 8, 1 );
+  const auto f = x6 ^ x1;
+  EXPECT_EQ( f.cofactor( 6, false ), x1 );
+  EXPECT_EQ( f.cofactor( 6, true ), ~x1 );
+}
+
+TEST( truth_table, shannon_expansion_reconstructs )
+{
+  // f == (!x & f0) | (x & f1) for every variable.
+  const auto f = truth_table::from_binary_string( "0110100110010110" );
+  for ( unsigned v = 0; v < 4; ++v )
+  {
+    const auto proj = truth_table::projection( 4, v );
+    const auto rebuilt =
+        ( ~proj & f.cofactor( v, false ) ) | ( proj & f.cofactor( v, true ) );
+    EXPECT_EQ( rebuilt, f ) << "variable " << v;
+  }
+}
+
+TEST( truth_table, support_detection )
+{
+  const auto x0 = truth_table::projection( 4, 0 );
+  const auto x2 = truth_table::projection( 4, 2 );
+  const auto f = x0 ^ x2;
+  EXPECT_TRUE( f.depends_on( 0 ) );
+  EXPECT_FALSE( f.depends_on( 1 ) );
+  EXPECT_TRUE( f.depends_on( 2 ) );
+  EXPECT_FALSE( f.depends_on( 3 ) );
+  EXPECT_EQ( f.support(), ( std::vector<unsigned>{ 0, 2 } ) );
+}
+
+TEST( truth_table, shrink_to_support )
+{
+  const auto x1 = truth_table::projection( 5, 1 );
+  const auto x3 = truth_table::projection( 5, 3 );
+  const auto f = x1 & x3;
+  std::vector<unsigned> map;
+  const auto small = f.shrink_to_support( &map );
+  EXPECT_EQ( small.num_vars(), 2u );
+  EXPECT_EQ( map, ( std::vector<unsigned>{ 1, 3 } ) );
+  EXPECT_EQ( small, truth_table::projection( 2, 0 ) & truth_table::projection( 2, 1 ) );
+}
+
+TEST( truth_table, hex_output )
+{
+  const auto x0 = truth_table::projection( 3, 0 );
+  EXPECT_EQ( x0.to_hex(), "aa" );
+  const auto maj = truth_table::from_binary_string( "11101000" );
+  EXPECT_EQ( maj.to_hex(), "e8" );
+}
+
+TEST( truth_table, hash_distinguishes_num_vars )
+{
+  truth_table a( 1 );
+  truth_table b( 2 );
+  // Different variable counts with identical (zero) payload must not
+  // collide structurally.
+  EXPECT_NE( a, b );
+}
+
+TEST( truth_table, evaluate_matches_get_bit )
+{
+  const auto f = truth_table::from_binary_string( "10010110" );
+  for ( std::uint64_t i = 0; i < 8; ++i )
+  {
+    EXPECT_EQ( f.evaluate( i ), f.get_bit( i ) );
+  }
+}
+
+TEST( truth_table, from_function_factory )
+{
+  const auto parity =
+      truth_table::from_function( 5, []( std::uint64_t i ) { return popcount64( i ) % 2 == 1; } );
+  truth_table expected( 5 );
+  for ( unsigned v = 0; v < 5; ++v )
+  {
+    expected ^= truth_table::projection( 5, v );
+  }
+  EXPECT_EQ( parity, expected );
+}
+
+/// Property sweep: operator identities over several sizes.
+class truth_table_sizes : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P( truth_table_sizes, xor_self_annihilates )
+{
+  const auto n = GetParam();
+  const auto f = truth_table::from_function(
+      n, []( std::uint64_t i ) { return ( i * 2654435761u ) & 8u; } );
+  EXPECT_TRUE( ( f ^ f ).is_const0() );
+  EXPECT_TRUE( ( f ^ ~f ).is_const1() );
+}
+
+TEST_P( truth_table_sizes, count_ones_complement )
+{
+  const auto n = GetParam();
+  const auto f = truth_table::from_function(
+      n, []( std::uint64_t i ) { return ( i % 3 ) == 1; } );
+  EXPECT_EQ( f.count_ones() + ( ~f ).count_ones(), f.num_bits() );
+}
+
+TEST_P( truth_table_sizes, double_cofactor_idempotent )
+{
+  const auto n = GetParam();
+  const auto f = truth_table::from_function(
+      n, []( std::uint64_t i ) { return ( ( i >> 1 ) ^ i ) & 1u; } );
+  for ( unsigned v = 0; v < n; ++v )
+  {
+    const auto c = f.cofactor( v, true );
+    EXPECT_EQ( c.cofactor( v, true ), c );
+    EXPECT_EQ( c.cofactor( v, false ), c );
+    EXPECT_FALSE( c.depends_on( v ) );
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P( sizes, truth_table_sizes, ::testing::Values( 1u, 2u, 5u, 6u, 7u, 9u ) );

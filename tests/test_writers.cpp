@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "core/flows.hpp"
+#include "reversible/write_circuit.hpp"
+
+using namespace qsyn;
+
+namespace
+{
+
+reversible_circuit sample_circuit()
+{
+  reversible_circuit c( 3 );
+  c.line( 0 ).name = "x0";
+  c.line( 0 ).is_primary_input = true;
+  c.line( 1 ).name = "x1";
+  c.line( 1 ).is_primary_input = true;
+  c.line( 2 ).name = "y0";
+  c.line( 2 ).is_constant_input = true;
+  c.line( 2 ).output_index = 0;
+  c.line( 2 ).is_garbage = false;
+  c.add_toffoli( 0, 1, 2 );
+  c.add_mct( { { 0, false } }, 1 );
+  return c;
+}
+
+} // namespace
+
+TEST( write_real, header_and_gates )
+{
+  const auto text = to_real( sample_circuit(), "demo" );
+  EXPECT_NE( text.find( ".version 2.0" ), std::string::npos );
+  EXPECT_NE( text.find( ".numvars 3" ), std::string::npos );
+  EXPECT_NE( text.find( ".variables x0 x1 y0" ), std::string::npos );
+  EXPECT_NE( text.find( ".constants --0" ), std::string::npos );
+  EXPECT_NE( text.find( ".garbage 11-" ), std::string::npos );
+  EXPECT_NE( text.find( "t3 x0 x1 y0" ), std::string::npos );
+  EXPECT_NE( text.find( "t2 -x0 x1" ), std::string::npos ); // negative control
+  EXPECT_NE( text.find( ".end" ), std::string::npos );
+}
+
+TEST( write_real, unnamed_lines_get_defaults )
+{
+  reversible_circuit c( 2 );
+  c.add_cnot( 0, 1 );
+  const auto text = to_real( c );
+  EXPECT_NE( text.find( "t2 l0 l1" ), std::string::npos );
+}
+
+TEST( write_qasm, small_gates_map_directly )
+{
+  const auto text = to_qasm( sample_circuit() );
+  EXPECT_NE( text.find( "OPENQASM 2.0;" ), std::string::npos );
+  EXPECT_NE( text.find( "qreg q[3];" ), std::string::npos );
+  EXPECT_NE( text.find( "ccx q[0],q[1],q[2];" ), std::string::npos );
+  // Negative control conjugated with x gates around a cx.
+  EXPECT_NE( text.find( "cx q[0],q[1];" ), std::string::npos );
+}
+
+TEST( write_qasm, large_gate_uses_ancilla_register )
+{
+  reversible_circuit c( 5 );
+  c.add_mct( { { 0, true }, { 1, true }, { 2, true }, { 3, true } }, 4 );
+  const auto text = to_qasm( c );
+  EXPECT_NE( text.find( "qreg a[2];" ), std::string::npos );
+  EXPECT_NE( text.find( "ccx q[0],q[1],a[0];" ), std::string::npos );
+  EXPECT_NE( text.find( "ccx q[3],a[1],q[4];" ), std::string::npos );
+  // Uncompute: the compute ccx lines appear twice.
+  const auto first = text.find( "ccx q[0],q[1],a[0];" );
+  EXPECT_NE( text.find( "ccx q[0],q[1],a[0];", first + 1 ), std::string::npos );
+}
+
+TEST( write_qasm, constant_one_initialization )
+{
+  reversible_circuit c( 2 );
+  c.line( 0 ).is_constant_input = true;
+  c.line( 0 ).constant_value = true;
+  c.add_cnot( 0, 1 );
+  const auto text = to_qasm( c );
+  EXPECT_NE( text.find( "x q[0];" ), std::string::npos );
+}
+
+TEST( writers, flow_output_roundtrips_to_both_formats )
+{
+  flow_params params;
+  params.kind = flow_kind::esop_based;
+  const auto result = run_reciprocal_flow( reciprocal_design::intdiv, 4, params );
+  const auto real_text = to_real( result.circuit, "intdiv4" );
+  const auto qasm_text = to_qasm( result.circuit );
+  EXPECT_NE( real_text.find( ".numvars 8" ), std::string::npos );
+  EXPECT_NE( qasm_text.find( "qreg q[8];" ), std::string::npos );
+  // Gate count in .real equals the circuit's gate count.
+  std::size_t real_gates = 0;
+  for ( std::size_t pos = real_text.find( "\nt" ); pos != std::string::npos;
+        pos = real_text.find( "\nt", pos + 1 ) )
+  {
+    ++real_gates;
+  }
+  EXPECT_EQ( real_gates, result.circuit.num_gates() );
+}
