@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Builds Release, runs the ESOP microbenchmark, and compares the freshly
+# emitted BENCH_esop.json against the committed baseline at the repo root.
+# Fails when any case regresses its final term count by more than 10%.
+#
+# Usage: scripts/run_bench.sh [--quick]
+#   --quick   run the reduced workload set (faster; compares only the cases
+#             present in both files)
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+REPO_ROOT=$(pwd)
+BUILD_DIR="$REPO_ROOT/build-bench"
+BASELINE="$REPO_ROOT/BENCH_esop.json"
+FRESH="$BUILD_DIR/BENCH_esop.json"
+
+QUICK_ARGS=()
+if [[ "${1:-}" == "--quick" ]]; then
+  QUICK_ARGS+=(--quick)
+fi
+
+cmake -B "$BUILD_DIR" -S "$REPO_ROOT" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_esop
+"$BUILD_DIR/bench/bench_esop" --out "$FRESH" "${QUICK_ARGS[@]}"
+
+if [[ ! -f "$BASELINE" ]]; then
+  echo "No committed baseline at $BASELINE; copy $FRESH there to create one."
+  exit 1
+fi
+
+python3 - "$BASELINE" "$FRESH" <<'EOF'
+import json
+import sys
+
+TERM_REGRESSION_LIMIT = 0.10
+
+with open(sys.argv[1]) as f:
+    baseline = {c["name"]: c for c in json.load(f)["cases"]}
+with open(sys.argv[2]) as f:
+    fresh = {c["name"]: c for c in json.load(f)["cases"]}
+
+failures = []
+for name, base in sorted(baseline.items()):
+    new = fresh.get(name)
+    if new is None:
+        continue  # quick runs omit the larger cases
+    if new.get("verified") is False:
+        failures.append(f"{name}: minimized ESOP no longer matches the input function")
+    limit = base["terms_final"] * (1.0 + TERM_REGRESSION_LIMIT)
+    if new["terms_final"] > limit:
+        failures.append(
+            f"{name}: terms_final {new['terms_final']} vs baseline "
+            f"{base['terms_final']} (> {TERM_REGRESSION_LIMIT:.0%} regression)"
+        )
+    speed = ""
+    if new.get("exorcism_ms") and base.get("exorcism_ms"):
+        speed = f"  exorcism {base['exorcism_ms']:.2f} -> {new['exorcism_ms']:.2f} ms"
+    print(f"{name}: terms {base['terms_final']} -> {new['terms_final']}{speed}")
+
+if failures:
+    print("\nBENCHMARK REGRESSIONS:")
+    for f in failures:
+        print("  " + f)
+    sys.exit(1)
+print("\nbenchmark OK (term counts within {:.0%} of baseline)".format(TERM_REGRESSION_LIMIT))
+EOF

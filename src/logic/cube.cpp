@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cassert>
-#include <map>
 
 namespace qsyn
 {
@@ -89,20 +88,29 @@ truth_table esop::output_truth_table( unsigned output ) const
 
 std::size_t esop::merge_identical_cubes()
 {
-  std::map<cube, std::uint64_t> merged;
-  for ( const auto& term : terms )
-  {
-    merged[term.product] ^= term.output_mask;
-  }
+  // Sort by cube, XOR runs of identical cubes in place; same deterministic
+  // (cube-ordered) result as the former std::map implementation without the
+  // per-node allocations.
   const auto before = terms.size();
-  terms.clear();
-  for ( const auto& [product, output_mask] : merged )
+  std::sort( terms.begin(), terms.end(), []( const esop_term& a, const esop_term& b ) {
+    return a.product < b.product;
+  } );
+  std::size_t out = 0;
+  for ( std::size_t i = 0; i < terms.size(); )
   {
-    if ( output_mask != 0u )
+    auto mask = terms[i].output_mask;
+    std::size_t j = i + 1u;
+    for ( ; j < terms.size() && terms[j].product == terms[i].product; ++j )
     {
-      terms.push_back( { product, output_mask } );
+      mask ^= terms[j].output_mask;
     }
+    if ( mask != 0u )
+    {
+      terms[out++] = { terms[i].product, mask };
+    }
+    i = j;
   }
+  terms.resize( out );
   return before - terms.size();
 }
 

@@ -66,14 +66,19 @@ struct cube
     return ( ( input ^ polarity ) & mask ) == 0u;
   }
 
-  /// Number of differing literal positions between two cubes: variables
-  /// that appear in exactly one cube, or in both with opposite polarity.
+  /// Bit-mask of the differing literal positions between two cubes:
+  /// variables that appear in exactly one cube, or in both with opposite
+  /// polarity.  Shared by distance() and the exorcism pair index.
+  std::uint64_t difference_mask( const cube& other ) const
+  {
+    return ( mask ^ other.mask ) |
+           ( ( polarity ^ other.polarity ) & ( mask & other.mask ) );
+  }
+
+  /// Number of differing literal positions between two cubes.
   int distance( const cube& other ) const
   {
-    const auto diff_mask = mask ^ other.mask;
-    const auto common = mask & other.mask;
-    const auto diff_pol = ( polarity ^ other.polarity ) & common;
-    return popcount64( diff_mask | diff_pol );
+    return popcount64( difference_mask( other ) );
   }
 
   bool operator==( const cube& other ) const

@@ -1,5 +1,6 @@
 #include "truth_table.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 
@@ -116,17 +117,26 @@ truth_table truth_table::from_binary_string( const std::string& s )
   }
   const unsigned num_vars = ceil_log2( s.size() );
   truth_table tt( num_vars );
-  for ( std::size_t i = 0; i < s.size(); ++i )
+  // Assemble whole 64-bit blocks instead of issuing one set_bit per
+  // character; bit i of the table is s[size - 1 - i].
+  for ( std::size_t blk = 0; blk < tt.blocks_.size(); ++blk )
   {
-    const char c = s[s.size() - 1u - i];
-    if ( c == '1' )
+    const std::size_t base = blk << 6;
+    const std::size_t count = std::min<std::size_t>( 64u, s.size() - base );
+    std::uint64_t word = 0;
+    for ( std::size_t o = 0; o < count; ++o )
     {
-      tt.set_bit( i, true );
+      const char c = s[s.size() - 1u - ( base + o )];
+      if ( c == '1' )
+      {
+        word |= std::uint64_t{ 1 } << o;
+      }
+      else if ( c != '0' )
+      {
+        throw std::invalid_argument( "truth_table::from_binary_string: invalid character" );
+      }
     }
-    else if ( c != '0' )
-    {
-      throw std::invalid_argument( "truth_table::from_binary_string: invalid character" );
-    }
+    tt.blocks_[blk] = word;
   }
   return tt;
 }
@@ -230,21 +240,132 @@ truth_table truth_table::cofactor( unsigned var, bool polarity ) const
 
 bool truth_table::depends_on( unsigned var ) const
 {
-  return cofactor( var, false ) != cofactor( var, true );
+  assert( var < num_vars_ );
+  if ( var < 6u )
+  {
+    // Compare the var=1 half of each block against the var=0 half in place:
+    // bit p (with index-bit var clear) differs from bit p + 2^var iff
+    // (b ^ (b >> 2^var)) is set at p.
+    const unsigned shift = 1u << var;
+    const auto low_half = ~projections[var];
+    for ( const auto b : blocks_ )
+    {
+      if ( ( ( b ^ ( b >> shift ) ) & low_half ) != 0u )
+      {
+        return true;
+      }
+    }
+    return false;
+  }
+  // Variable lives across blocks: compare block i against block i + period
+  // for every i whose period-bit is clear.
+  const std::size_t period = std::size_t{ 1 } << ( var - 6u );
+  for ( std::size_t base = 0; base < blocks_.size(); base += 2u * period )
+  {
+    for ( std::size_t k = 0; k < period; ++k )
+    {
+      if ( blocks_[base + k] != blocks_[base + period + k] )
+      {
+        return true;
+      }
+    }
+  }
+  return false;
 }
 
 std::vector<unsigned> truth_table::support() const
 {
-  std::vector<unsigned> vars;
-  for ( unsigned v = 0; v < num_vars_; ++v )
+  // Single sweep over the blocks accumulating a support bit-mask: the six
+  // word-level variables are tested with shifted self-comparisons, the
+  // block-level variables by comparing partner blocks.
+  std::uint64_t found = 0;
+  const unsigned word_vars = std::min( num_vars_, 6u );
+  const std::uint64_t word_done = ( std::uint64_t{ 1 } << word_vars ) - 1u;
+  const std::uint64_t all_done =
+      num_vars_ >= 64u ? ~std::uint64_t{ 0 } : ( std::uint64_t{ 1 } << num_vars_ ) - 1u;
+  for ( std::size_t i = 0; i < blocks_.size() && found != all_done; ++i )
   {
-    if ( depends_on( v ) )
+    const auto b = blocks_[i];
+    if ( ( found & word_done ) != word_done )
     {
-      vars.push_back( v );
+      for ( unsigned v = 0; v < word_vars; ++v )
+      {
+        if ( !( ( found >> v ) & 1u ) &&
+             ( ( b ^ ( b >> ( 1u << v ) ) ) & ~projections[v] ) != 0u )
+        {
+          found |= std::uint64_t{ 1 } << v;
+        }
+      }
     }
+    for ( unsigned v = 6u; v < num_vars_; ++v )
+    {
+      const std::size_t period = std::size_t{ 1 } << ( v - 6u );
+      if ( !( ( found >> v ) & 1u ) && !( i & period ) && b != blocks_[i + period] )
+      {
+        found |= std::uint64_t{ 1 } << v;
+      }
+    }
+  }
+  std::vector<unsigned> vars;
+  vars.reserve( static_cast<std::size_t>( popcount64( found ) ) );
+  for ( auto w = found; w != 0u; w &= w - 1u )
+  {
+    vars.push_back( static_cast<unsigned>( lsb_index( w ) ) );
   }
   return vars;
 }
+
+namespace
+{
+
+/// Packs the bits of `b` whose position has index-bit `var` clear into the
+/// low half of the word (log-step fold; the kept positions form the regular
+/// pattern ~projections[var]).
+std::uint64_t compress_remove_bit( std::uint64_t b, unsigned var )
+{
+  auto x = b & ~projections[var];
+  for ( unsigned s = var; s < 5u; ++s )
+  {
+    x = ( x | ( x >> ( 1u << s ) ) ) & ~projections[s + 1u];
+  }
+  return x;
+}
+
+/// Removes variable `var` from a table of `num_vars` variables stored in
+/// `blocks` by keeping the var=0 half (only valid when the function does not
+/// depend on `var`).  Operates with whole-block moves / word-level folds.
+void remove_var_from_blocks( std::vector<std::uint64_t>& blocks, unsigned num_vars, unsigned var )
+{
+  if ( var >= 6u )
+  {
+    // Gather the blocks whose period-bit is clear, preserving order.
+    const std::size_t period = std::size_t{ 1 } << ( var - 6u );
+    std::size_t out = 0;
+    for ( std::size_t base = 0; base < blocks.size(); base += 2u * period )
+    {
+      for ( std::size_t k = 0; k < period; ++k, ++out )
+      {
+        blocks[out] = blocks[base + k];
+      }
+    }
+  }
+  else if ( num_vars > 6u )
+  {
+    // Each block compresses to 32 valid bits; splice block pairs.
+    for ( std::size_t i = 0; i < blocks.size(); i += 2u )
+    {
+      blocks[i >> 1] = compress_remove_bit( blocks[i], var ) |
+                       ( compress_remove_bit( blocks[i + 1u], var ) << 32 );
+    }
+  }
+  else
+  {
+    blocks[0] = compress_remove_bit( blocks[0], var );
+  }
+  blocks.resize( num_blocks_for( num_vars - 1u ) );
+}
+
+} // namespace
 
 truth_table truth_table::shrink_to_support( std::vector<unsigned>* var_map ) const
 {
@@ -253,22 +374,27 @@ truth_table truth_table::shrink_to_support( std::vector<unsigned>* var_map ) con
   {
     *var_map = vars;
   }
-  truth_table result( static_cast<unsigned>( vars.size() ) );
-  for ( std::uint64_t i = 0; i < result.num_bits(); ++i )
+  if ( vars.size() == num_vars_ )
   {
-    std::uint64_t full = 0;
-    for ( std::size_t v = 0; v < vars.size(); ++v )
+    return *this;
+  }
+  // Drop the non-support variables from highest to lowest so the indices of
+  // the remaining variables stay valid during the removal.
+  truth_table result = *this;
+  std::uint64_t keep = 0;
+  for ( const auto v : vars )
+  {
+    keep |= std::uint64_t{ 1 } << v;
+  }
+  for ( unsigned v = num_vars_; v-- > 0u; )
+  {
+    if ( !( ( keep >> v ) & 1u ) )
     {
-      if ( ( i >> v ) & 1u )
-      {
-        full |= std::uint64_t{ 1 } << vars[v];
-      }
-    }
-    if ( get_bit( full ) )
-    {
-      result.set_bit( i, true );
+      remove_var_from_blocks( result.blocks_, result.num_vars_, v );
+      --result.num_vars_;
     }
   }
+  result.mask_off_unused();
   return result;
 }
 

@@ -10,6 +10,7 @@
 
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -53,17 +54,27 @@ public:
   /// Parses a binary string "1011..." with bit 0 rightmost; length must be a
   /// power of two.
   static truth_table from_binary_string( const std::string& s );
-  /// Builds a table from a per-index predicate.
+  /// Builds a table from a per-index predicate.  The predicate is invoked in
+  /// ascending index order; each 64-bit block is assembled in a register and
+  /// stored once.
   template<typename Fn>
   static truth_table from_function( unsigned num_vars, Fn&& fn )
   {
     truth_table tt( num_vars );
-    for ( std::uint64_t i = 0; i < tt.num_bits(); ++i )
+    const auto bits = tt.num_bits();
+    for ( std::size_t blk = 0; blk < tt.blocks_.size(); ++blk )
     {
-      if ( fn( i ) )
+      const std::uint64_t base = std::uint64_t{ blk } << 6;
+      const unsigned count = static_cast<unsigned>( std::min<std::uint64_t>( 64u, bits - base ) );
+      std::uint64_t word = 0;
+      for ( unsigned o = 0; o < count; ++o )
       {
-        tt.set_bit( i, true );
+        if ( fn( base + o ) )
+        {
+          word |= std::uint64_t{ 1 } << o;
+        }
       }
+      tt.blocks_[blk] = word;
     }
     return tt;
   }

@@ -84,12 +84,11 @@ reversible_circuit esop_synthesize( const esop& expression, const esop_synth_par
   {
     synth_term st;
     st.output_mask = t.output_mask;
-    for ( unsigned v = 0; v < n; ++v )
+    st.controls.reserve( static_cast<std::size_t>( t.product.num_literals() ) );
+    for ( auto m = t.product.mask; m != 0u; m &= m - 1u )
     {
-      if ( t.product.has_var( v ) )
-      {
-        st.controls.push_back( { v, t.product.var_polarity( v ) } );
-      }
+      const auto v = static_cast<unsigned>( lsb_index( m ) );
+      st.controls.push_back( { v, t.product.var_polarity( v ) } );
     }
     terms.push_back( std::move( st ) );
   }

@@ -7,6 +7,15 @@
 /// EXORLINK-style transformations to cube pairs of small Boolean distance
 /// (0, 1, 2) until no transformation reduces the cost, where cost is the
 /// (cube count, literal count) pair ordered lexicographically.
+///
+/// Pairs are discovered through a pair-generation index instead of an
+/// all-pairs scan: terms are bucketed by output mask, distance-1 partners
+/// are found by O(1) exact-map lookups of the single-literal perturbations
+/// of a cube, and distance-2 partners by lookups in a two-position wildcard
+/// signature index.  The EXORLINK rewrites themselves are constructed with
+/// closed-form word operations on the (mask, polarity) bit-vectors — the
+/// rewrites are unconditionally valid for distance <= 2, which the retained
+/// exhaustive checker asserts in debug builds.
 
 #pragma once
 
@@ -24,6 +33,26 @@ struct exorcism_stats
   std::size_t final_literals = 0;
   unsigned passes = 0;
 };
+
+/// Closed-form distance-1 merge: the single cube equivalent to a ^ b when
+/// the cubes differ in exactly one literal position.
+cube exorlink_merge( const cube& a, const cube& b );
+
+/// The two EXORLINK-2 rewrites of a distance-2 pair: a ^ b == a1 ^ b1 ==
+/// a2 ^ b2, each obtained by replacing one differing literal of one cube
+/// with the merged state.
+struct exorlink2_rewrites
+{
+  cube a1, b1;
+  cube a2, b2;
+};
+exorlink2_rewrites exorlink_two( const cube& a, const cube& b );
+
+/// Exhaustive semantic reference check that a ^ b == c1 [^ c2], enumerating
+/// all assignments of the involved variables.  Retained as the debug
+/// cross-check of the closed-form rewrites and for the property tests.
+bool xor_equivalent_exhaustive( const cube& a, const cube& b, const cube& c1,
+                                const cube* c2 = nullptr );
 
 /// Minimizes a multi-output ESOP in place; returns statistics.
 /// `max_passes` bounds the outer improvement loop.

@@ -1,0 +1,208 @@
+/// Property tests for the rewritten EXORCISM engine: preservation of every
+/// output of random multi-output ESOPs, and agreement of the closed-form
+/// EXORLINK rewrites with the exhaustive xor-equivalence reference.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "synth/exorcism.hpp"
+
+using namespace qsyn;
+
+namespace
+{
+
+cube random_cube( std::mt19937_64& rng, unsigned num_vars, unsigned max_literals = 64u )
+{
+  const std::uint64_t var_mask = ( std::uint64_t{ 1 } << num_vars ) - 1u;
+  auto mask = rng() & var_mask;
+  while ( static_cast<unsigned>( popcount64( mask ) ) > max_literals )
+  {
+    mask &= rng(); // thin out
+  }
+  return cube{ mask, rng() & mask };
+}
+
+/// Alters the literal state of `c` at variable `var` to a different one of
+/// the three states (absent / positive / negative), chosen by `which`.
+cube perturb( const cube& c, unsigned var, unsigned which )
+{
+  cube result = c;
+  if ( c.has_var( var ) )
+  {
+    if ( which % 2u == 0u )
+    {
+      result.remove_literal( var );
+    }
+    else
+    {
+      result.add_literal( var, !c.var_polarity( var ) );
+    }
+  }
+  else
+  {
+    result.add_literal( var, which % 2u == 0u );
+  }
+  return result;
+}
+
+esop random_esop( std::mt19937_64& rng, unsigned num_inputs, unsigned num_outputs,
+                  std::size_t num_terms )
+{
+  const std::uint64_t out_mask = ( std::uint64_t{ 1 } << num_outputs ) - 1u;
+  esop e;
+  e.num_inputs = num_inputs;
+  e.num_outputs = num_outputs;
+  for ( std::size_t t = 0; t < num_terms; ++t )
+  {
+    auto outputs = rng() & out_mask;
+    if ( outputs == 0u )
+    {
+      outputs = 1u;
+    }
+    e.terms.push_back( { random_cube( rng, num_inputs ), outputs } );
+  }
+  return e;
+}
+
+} // namespace
+
+TEST( exorlink, merge_agrees_with_exhaustive_reference )
+{
+  std::mt19937_64 rng( 0xabc1 );
+  for ( int round = 0; round < 3000; ++round )
+  {
+    const auto num_vars = 3u + static_cast<unsigned>( rng() % 8u );
+    const auto a = random_cube( rng, num_vars );
+    const auto b = perturb( a, static_cast<unsigned>( rng() % num_vars ),
+                            static_cast<unsigned>( rng() ) );
+    ASSERT_EQ( a.distance( b ), 1 );
+    const auto merged = exorlink_merge( a, b );
+    EXPECT_TRUE( xor_equivalent_exhaustive( a, b, merged ) )
+        << "round " << round << ": " << a.to_string( num_vars ) << " ^ "
+        << b.to_string( num_vars ) << " != " << merged.to_string( num_vars );
+  }
+}
+
+TEST( exorlink, two_rewrites_agree_with_exhaustive_reference )
+{
+  std::mt19937_64 rng( 0xabc2 );
+  for ( int round = 0; round < 3000; ++round )
+  {
+    const auto num_vars = 3u + static_cast<unsigned>( rng() % 8u );
+    const auto a = random_cube( rng, num_vars );
+    const auto v1 = static_cast<unsigned>( rng() % num_vars );
+    auto v2 = static_cast<unsigned>( rng() % num_vars );
+    while ( v2 == v1 )
+    {
+      v2 = static_cast<unsigned>( rng() % num_vars );
+    }
+    auto b = perturb( a, v1, static_cast<unsigned>( rng() ) );
+    b = perturb( b, v2, static_cast<unsigned>( rng() ) );
+    ASSERT_EQ( a.distance( b ), 2 );
+    const auto rw = exorlink_two( a, b );
+    EXPECT_TRUE( xor_equivalent_exhaustive( a, b, rw.a1, &rw.b1 ) ) << "round " << round;
+    EXPECT_TRUE( xor_equivalent_exhaustive( a, b, rw.a2, &rw.b2 ) ) << "round " << round;
+  }
+}
+
+TEST( exorlink, difference_mask_matches_per_variable_definition )
+{
+  std::mt19937_64 rng( 0xabc3 );
+  for ( int round = 0; round < 2000; ++round )
+  {
+    const auto a = random_cube( rng, 16 );
+    const auto b = random_cube( rng, 16 );
+    std::uint64_t expected = 0;
+    for ( unsigned v = 0; v < 16; ++v )
+    {
+      const bool in_a = a.has_var( v );
+      const bool in_b = b.has_var( v );
+      const bool differs =
+          in_a != in_b || ( in_a && in_b && a.var_polarity( v ) != b.var_polarity( v ) );
+      if ( differs )
+      {
+        expected |= std::uint64_t{ 1 } << v;
+      }
+    }
+    EXPECT_EQ( a.difference_mask( b ), expected );
+    EXPECT_EQ( a.distance( b ), popcount64( expected ) );
+  }
+}
+
+class exorcism_multi_output : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P( exorcism_multi_output, preserves_all_output_truth_tables )
+{
+  const auto n = GetParam();
+  std::mt19937_64 rng( 0xd00d + n );
+  for ( int round = 0; round < 12; ++round )
+  {
+    const auto m = 1u + static_cast<unsigned>( rng() % 3u );
+    const auto terms = 20u + static_cast<unsigned>( rng() % 180u );
+    auto e = random_esop( rng, n, m, terms );
+    std::vector<truth_table> before;
+    for ( unsigned o = 0; o < m; ++o )
+    {
+      before.push_back( e.output_truth_table( o ) );
+    }
+    const auto initial_distinct = [&] {
+      auto copy = e;
+      copy.merge_identical_cubes();
+      return copy.num_terms();
+    }();
+    const auto stats = exorcism( e, 64 );
+    EXPECT_LE( e.num_terms(), initial_distinct ) << "n " << n << " round " << round;
+    EXPECT_EQ( stats.final_terms, e.num_terms() );
+    for ( unsigned o = 0; o < m; ++o )
+    {
+      EXPECT_EQ( e.output_truth_table( o ), before[o] )
+          << "n " << n << " round " << round << " output " << o;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P( sizes, exorcism_multi_output, ::testing::Values( 5u, 6u, 7u, 8u ) );
+
+TEST( exorcism, empty_and_single_term )
+{
+  esop empty;
+  empty.num_inputs = 4;
+  empty.num_outputs = 2;
+  const auto stats = exorcism( empty );
+  EXPECT_EQ( stats.final_terms, 0u );
+
+  esop single;
+  single.num_inputs = 4;
+  single.num_outputs = 1;
+  cube c;
+  c.add_literal( 1, true );
+  single.terms.push_back( { c, 1u } );
+  const auto before = single.output_truth_table( 0 );
+  exorcism( single );
+  EXPECT_EQ( single.num_terms(), 1u );
+  EXPECT_EQ( single.output_truth_table( 0 ), before );
+}
+
+TEST( exorcism, merges_identical_cubes_across_output_groups )
+{
+  // Two identical cubes feeding different output sets must merge into one
+  // term whose output mask is the XOR.
+  esop e;
+  e.num_inputs = 3;
+  e.num_outputs = 2;
+  cube c;
+  c.add_literal( 0, true );
+  e.terms.push_back( { c, 0b01 } );
+  e.terms.push_back( { c, 0b11 } );
+  const auto t0 = e.output_truth_table( 0 );
+  const auto t1 = e.output_truth_table( 1 );
+  exorcism( e );
+  EXPECT_EQ( e.num_terms(), 1u );
+  EXPECT_EQ( e.terms[0].output_mask, 0b10u );
+  EXPECT_EQ( e.output_truth_table( 0 ), t0 );
+  EXPECT_EQ( e.output_truth_table( 1 ), t1 );
+}

@@ -96,11 +96,13 @@ TEST( circuit, append_reversed_window )
 
 TEST( circuit, gate_validation )
 {
-  reversible_circuit c( 2 );
+  reversible_circuit c( 3 );
   c.add_cnot( 0, 1 );
   EXPECT_EQ( c.num_gates(), 1u );
   EXPECT_EQ( c.num_toffoli_gates(), 0u );
-  c.add_toffoli( 0, 1, 0 == 1 ? 0 : 1 ); // fine: distinct target
+  c.add_toffoli( 0, 1, 2 ); // fine: target distinct from both controls
+  EXPECT_EQ( c.num_gates(), 2u );
+  EXPECT_EQ( c.num_toffoli_gates(), 1u );
 }
 
 TEST( cost_model, small_gate_costs )

@@ -144,6 +144,104 @@ TEST( truth_table, shrink_to_support )
   EXPECT_EQ( small, truth_table::projection( 2, 0 ) & truth_table::projection( 2, 1 ) );
 }
 
+TEST( truth_table, support_detection_multi_block )
+{
+  // Variables on both sides of the word boundary (block-level vars >= 6).
+  const auto x1 = truth_table::projection( 9, 1 );
+  const auto x7 = truth_table::projection( 9, 7 );
+  const auto x8 = truth_table::projection( 9, 8 );
+  const auto f = ( x1 & x7 ) ^ x8;
+  EXPECT_EQ( f.support(), ( std::vector<unsigned>{ 1, 7, 8 } ) );
+  EXPECT_TRUE( f.depends_on( 7 ) );
+  EXPECT_FALSE( f.depends_on( 0 ) );
+  EXPECT_FALSE( f.depends_on( 6 ) );
+}
+
+TEST( truth_table, shrink_to_support_multi_block )
+{
+  // Removal must handle word-level compression (vars < 6) and block gathers
+  // (vars >= 6) in one shrink.
+  const auto x2 = truth_table::projection( 9, 2 );
+  const auto x7 = truth_table::projection( 9, 7 );
+  const auto f = x2 ^ x7;
+  std::vector<unsigned> map;
+  const auto small = f.shrink_to_support( &map );
+  EXPECT_EQ( small.num_vars(), 2u );
+  EXPECT_EQ( map, ( std::vector<unsigned>{ 2, 7 } ) );
+  EXPECT_EQ( small, truth_table::projection( 2, 0 ) ^ truth_table::projection( 2, 1 ) );
+}
+
+TEST( truth_table, shrink_to_support_matches_naive_reconstruction )
+{
+  // Randomized cross-check over sizes straddling the block boundary: the
+  // shrunk table evaluated through the variable map must match the
+  // original on every assignment of the support variables.
+  for ( const unsigned n : { 4u, 6u, 7u, 8u, 9u } )
+  {
+    for ( std::uint64_t seed = 1; seed <= 4; ++seed )
+    {
+      // Build a function of a random subset of the variables.
+      std::uint64_t subset = 0;
+      for ( unsigned v = 0; v < n; ++v )
+      {
+        if ( ( ( seed * 0x9e3779b97f4a7c15ull ) >> ( v * 7u ) ) & 1u )
+        {
+          subset |= std::uint64_t{ 1 } << v;
+        }
+      }
+      const auto f = truth_table::from_function( n, [&]( std::uint64_t i ) {
+        const auto masked = i & subset;
+        return ( ( masked * 2654435761u ) >> 3 ) & 1u;
+      } );
+      std::vector<unsigned> map;
+      const auto small = f.shrink_to_support( &map );
+      for ( std::uint64_t i = 0; i < small.num_bits(); ++i )
+      {
+        std::uint64_t full = 0;
+        for ( std::size_t v = 0; v < map.size(); ++v )
+        {
+          if ( ( i >> v ) & 1u )
+          {
+            full |= std::uint64_t{ 1 } << map[v];
+          }
+        }
+        ASSERT_EQ( small.get_bit( i ), f.get_bit( full ) )
+            << "n " << n << " seed " << seed << " index " << i;
+      }
+    }
+  }
+}
+
+TEST( truth_table, depends_on_matches_cofactor_definition )
+{
+  for ( const unsigned n : { 3u, 6u, 7u, 9u } )
+  {
+    const auto f = truth_table::from_function(
+        n, []( std::uint64_t i ) { return ( ( i >> 2 ) ^ ( i * 0x2545f4914f6cdd1dull ) ) & 1u; } );
+    for ( unsigned v = 0; v < n; ++v )
+    {
+      EXPECT_EQ( f.depends_on( v ), f.cofactor( v, false ) != f.cofactor( v, true ) )
+          << "n " << n << " var " << v;
+    }
+  }
+}
+
+TEST( truth_table, from_binary_string_multi_block )
+{
+  // 128-bit string (7 variables, two blocks) checked bit by bit.
+  std::string s( 128, '0' );
+  for ( std::size_t i = 0; i < 128; i += 3 )
+  {
+    s[i] = '1';
+  }
+  const auto tt = truth_table::from_binary_string( s );
+  EXPECT_EQ( tt.num_vars(), 7u );
+  for ( std::uint64_t i = 0; i < 128; ++i )
+  {
+    EXPECT_EQ( tt.get_bit( i ), s[127u - i] == '1' ) << "bit " << i;
+  }
+}
+
 TEST( truth_table, hex_output )
 {
   const auto x0 = truth_table::projection( 3, 0 );
