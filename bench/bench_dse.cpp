@@ -1,0 +1,234 @@
+/// \file bench_dse.cpp
+/// \brief Benchmark of the design-space-exploration engine: the sequential
+/// seed path (one full pipeline per configuration, no artifact sharing)
+/// against the cached + threaded engine, on the default reciprocal-design
+/// sweep.
+///
+/// For every (design, bitwidth) case both paths run the identical
+/// configuration list; the benchmark asserts that labels, qubit counts,
+/// T-counts and gate counts agree point-by-point (the engine must change
+/// the wall clock only), and writes BENCH_dse.json with both wall clocks,
+/// the speedup, and the cache hit/miss counters so every future PR can
+/// extend the perf trajectory.
+///
+/// Usage: bench_dse [--out FILE] [--quick] [--max N] [--threads N] [--no-verify]
+///
+/// The default sweep stops at n = 7: from n = 8 on, per-point verification
+/// simulation — identical work on both paths, untouched by the engine —
+/// dominates the wall clock and drowns the measurement (pass --max 8, or
+/// --no-verify, to see it).
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/timer.hpp"
+#include "core/dse.hpp"
+#include "verilog/elaborator.hpp"
+
+namespace
+{
+
+using namespace qsyn;
+
+struct case_result
+{
+  std::string name;
+  unsigned bitwidth = 0;
+  std::size_t num_configs = 0;
+  double seq_wall_s = 0.0;
+  double cached_wall_s = 0.0;
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
+  bool identical = true;
+  bool all_verified = true;
+};
+
+bool points_identical( const std::vector<dse_point>& a, const std::vector<dse_point>& b )
+{
+  if ( a.size() != b.size() )
+  {
+    return false;
+  }
+  for ( std::size_t i = 0; i < a.size(); ++i )
+  {
+    if ( a[i].label != b[i].label || a[i].result.costs.qubits != b[i].result.costs.qubits ||
+         a[i].result.costs.t_count != b[i].result.costs.t_count ||
+         a[i].result.costs.gates != b[i].result.costs.gates )
+    {
+      return false;
+    }
+  }
+  return true;
+}
+
+case_result run_case( reciprocal_design design, unsigned n, bool include_functional,
+                      bool verify, unsigned num_threads )
+{
+  case_result r;
+  r.name = ( design == reciprocal_design::intdiv ? "intdiv-n" : "newton-n" ) + std::to_string( n );
+  r.bitwidth = n;
+
+  const auto mod = verilog::elaborate_verilog( reciprocal_verilog( design, n ) );
+  auto configs = default_dse_configurations( include_functional );
+  for ( auto& c : configs )
+  {
+    c.verify = verify;
+  }
+  r.num_configs = configs.size();
+
+  // Sequential seed path: no artifact sharing, one full pipeline per
+  // configuration, inline execution.
+  explore_options seq;
+  seq.num_threads = 1;
+  seq.use_cache = false;
+  stopwatch watch;
+  const auto seq_points = explore( mod.aig, configs, seq );
+  r.seq_wall_s = watch.elapsed_seconds();
+
+  // Cached + threaded engine.
+  explore_options par;
+  par.num_threads = num_threads;
+  flow_artifact_cache cache;
+  watch.restart();
+  const auto cached_points = explore( mod.aig, configs, par, cache );
+  r.cached_wall_s = watch.elapsed_seconds();
+  r.cache_hits = cache.stats().hits;
+  r.cache_misses = cache.stats().misses;
+
+  r.identical = points_identical( seq_points, cached_points );
+  if ( verify )
+  {
+    for ( const auto& p : cached_points )
+    {
+      r.all_verified = r.all_verified && p.result.verified;
+    }
+    for ( const auto& p : seq_points )
+    {
+      r.all_verified = r.all_verified && p.result.verified;
+    }
+  }
+
+  std::printf( "%-12s %zu configs | seq %8.3f s | cached %8.3f s (%.2fx) | %zu hits %zu misses | %s%s\n",
+               r.name.c_str(), r.num_configs, r.seq_wall_s, r.cached_wall_s,
+               r.seq_wall_s / ( r.cached_wall_s > 0 ? r.cached_wall_s : 1e-9 ), r.cache_hits,
+               r.cache_misses, r.identical ? "identical" : "COSTS DIVERGED",
+               verify ? ( r.all_verified ? ", verified" : ", VERIFY FAILED" ) : "" );
+  return r;
+}
+
+void write_json( const char* path, const std::vector<case_result>& cases, bool verify,
+                 unsigned num_threads )
+{
+  double total_seq = 0.0;
+  double total_cached = 0.0;
+  bool all_identical = true;
+  bool all_verified = true;
+  for ( const auto& c : cases )
+  {
+    total_seq += c.seq_wall_s;
+    total_cached += c.cached_wall_s;
+    all_identical = all_identical && c.identical;
+    all_verified = all_verified && c.all_verified;
+  }
+
+  FILE* f = std::fopen( path, "w" );
+  if ( !f )
+  {
+    std::fprintf( stderr, "cannot open %s for writing\n", path );
+    std::exit( 1 );
+  }
+  std::fprintf( f, "{\n  \"bench\": \"dse\",\n  \"schema_version\": 1,\n" );
+  std::fprintf( f, "  \"verify\": %s,\n", verify ? "true" : "false" );
+  std::fprintf( f, "  \"num_threads\": %u,\n", num_threads );
+  std::fprintf( f, "  \"total_seq_wall_s\": %.3f,\n", total_seq );
+  std::fprintf( f, "  \"total_cached_wall_s\": %.3f,\n", total_cached );
+  std::fprintf( f, "  \"speedup\": %.2f,\n",
+                total_seq / ( total_cached > 0 ? total_cached : 1e-9 ) );
+  std::fprintf( f, "  \"all_identical\": %s,\n", all_identical ? "true" : "false" );
+  std::fprintf( f, "  \"all_verified\": %s,\n", all_verified ? "true" : "false" );
+  std::fprintf( f, "  \"cases\": [\n" );
+  for ( std::size_t i = 0; i < cases.size(); ++i )
+  {
+    const auto& c = cases[i];
+    std::fprintf( f, "    {\n" );
+    std::fprintf( f, "      \"name\": \"%s\",\n", c.name.c_str() );
+    std::fprintf( f, "      \"bitwidth\": %u,\n", c.bitwidth );
+    std::fprintf( f, "      \"num_configs\": %zu,\n", c.num_configs );
+    std::fprintf( f, "      \"seq_wall_s\": %.4f,\n", c.seq_wall_s );
+    std::fprintf( f, "      \"cached_wall_s\": %.4f,\n", c.cached_wall_s );
+    std::fprintf( f, "      \"speedup\": %.2f,\n",
+                  c.seq_wall_s / ( c.cached_wall_s > 0 ? c.cached_wall_s : 1e-9 ) );
+    std::fprintf( f, "      \"cache_hits\": %zu,\n", c.cache_hits );
+    std::fprintf( f, "      \"cache_misses\": %zu,\n", c.cache_misses );
+    std::fprintf( f, "      \"identical\": %s\n", c.identical ? "true" : "false" );
+    std::fprintf( f, "    }%s\n", i + 1 < cases.size() ? "," : "" );
+  }
+  std::fprintf( f, "  ]\n}\n" );
+  std::fclose( f );
+}
+
+} // namespace
+
+int main( int argc, char** argv )
+{
+  const char* out_path = "BENCH_dse.json";
+  bool quick = false;
+  bool verify = true;
+  unsigned num_threads = 0; // hardware concurrency
+  unsigned max_n = 7;
+  for ( int i = 1; i < argc; ++i )
+  {
+    if ( std::strcmp( argv[i], "--out" ) == 0 && i + 1 < argc )
+    {
+      out_path = argv[++i];
+    }
+    else if ( std::strcmp( argv[i], "--quick" ) == 0 )
+    {
+      quick = true;
+    }
+    else if ( std::strcmp( argv[i], "--no-verify" ) == 0 )
+    {
+      verify = false;
+    }
+    else if ( std::strcmp( argv[i], "--max" ) == 0 && i + 1 < argc )
+    {
+      max_n = static_cast<unsigned>( std::atoi( argv[++i] ) );
+    }
+    else if ( std::strcmp( argv[i], "--threads" ) == 0 && i + 1 < argc )
+    {
+      num_threads = static_cast<unsigned>( std::atoi( argv[++i] ) );
+    }
+  }
+
+  if ( quick )
+  {
+    max_n = std::min( max_n, 6u );
+  }
+  // The functional flow's TBS tail is a single configuration (nothing to
+  // share) and grows ~4x per bit; past n = 6 it would swamp the wall clock
+  // of both paths without exercising the engine.
+  const unsigned functional_max_n = 6u;
+
+  std::vector<case_result> cases;
+  for ( unsigned n = 5u; n <= max_n; ++n )
+  {
+    for ( const auto design : { reciprocal_design::intdiv, reciprocal_design::newton } )
+    {
+      cases.push_back( run_case( design, n, n <= functional_max_n, verify, num_threads ) );
+    }
+  }
+
+  write_json( out_path, cases, verify, num_threads );
+  std::printf( "\nwrote %s\n", out_path );
+
+  bool ok = true;
+  for ( const auto& c : cases )
+  {
+    ok = ok && c.identical && c.all_verified;
+  }
+  return ok ? 0 : 1;
+}

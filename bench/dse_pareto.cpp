@@ -4,7 +4,10 @@
 /// the depth of the circuit that cannot be probed using the handcrafted
 /// approaches" — one design, many flow configurations, Pareto frontier in
 /// the (qubits, T-count) plane, with the handcrafted baselines printed for
-/// comparison.
+/// comparison.  A thin wrapper around the batch exploration engine
+/// (`explore_designs`): artifact caching and the thread pool come for free.
+///
+/// Usage: dse_pareto [--n N] [--threads N]
 
 #include <cstdio>
 #include <cstring>
@@ -13,29 +16,33 @@
 #include "baseline/qnewton.hpp"
 #include "baseline/resdiv.hpp"
 #include "core/dse.hpp"
-#include "verilog/elaborator.hpp"
 
 int main( int argc, char** argv )
 {
   using namespace qsyn;
   unsigned n = 6;
+  explore_options options;
   for ( int i = 1; i < argc; ++i )
   {
     if ( std::strcmp( argv[i], "--n" ) == 0 && i + 1 < argc )
     {
       n = static_cast<unsigned>( std::atoi( argv[++i] ) );
     }
+    else if ( std::strcmp( argv[i], "--threads" ) == 0 && i + 1 < argc )
+    {
+      options.num_threads = static_cast<unsigned>( std::atoi( argv[++i] ) );
+    }
   }
 
   std::printf( "DESIGN SPACE EXPLORATION: reciprocal 1/x, n = %u\n\n", n );
-  for ( const auto design : { reciprocal_design::intdiv, reciprocal_design::newton } )
+  const auto explorations = explore_designs(
+      { reciprocal_design::intdiv, reciprocal_design::newton }, n, n, options );
+  for ( const auto& e : explorations )
   {
-    const auto name = design == reciprocal_design::intdiv ? "INTDIV" : "NEWTON";
-    std::printf( "--- %s(%u) ---\n", name, n );
-    const auto mod = verilog::elaborate_verilog( reciprocal_verilog( design, n ) );
-    const auto points = explore( mod.aig, default_dse_configurations( n <= 9 ) );
-    std::printf( "%s", format_dse_table( points ).c_str() );
-    std::printf( "\n" );
+    std::printf( "--- %s ---\n", e.name.c_str() );
+    std::printf( "%s", format_dse_table( e.points ).c_str() );
+    std::printf( "(%.2f s sweep, %zu cache hits / %zu misses)\n\n", e.wall_seconds,
+                 e.cache.hits, e.cache.misses );
   }
 
   std::printf( "--- handcrafted baselines for comparison ---\n" );

@@ -1,19 +1,21 @@
 #!/usr/bin/env bash
-# Builds Release, runs the ESOP microbenchmark, and compares the freshly
-# emitted BENCH_esop.json against the committed baseline at the repo root.
-# Fails when any case regresses its final term count by more than 10%.
+# Builds Release, runs the ESOP and DSE benchmarks, and compares the freshly
+# emitted BENCH_*.json files against the committed baselines at the repo
+# root.  Fails when
+#   * any ESOP case regresses its final term count by more than 10%,
+#   * the DSE engine's cached sweep regresses its wall clock by more than
+#     10% against the committed baseline (or its costs diverge from the
+#     sequential path).
 #
 # Usage: scripts/run_bench.sh [--quick]
-#   --quick   run the reduced workload set (faster; compares only the cases
-#             present in both files)
+#   --quick   run the reduced workload sets (faster; compares only the
+#             cases present in both files)
 
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 REPO_ROOT=$(pwd)
 BUILD_DIR="$REPO_ROOT/build-bench"
-BASELINE="$REPO_ROOT/BENCH_esop.json"
-FRESH="$BUILD_DIR/BENCH_esop.json"
 
 QUICK_ARGS=()
 if [[ "${1:-}" == "--quick" ]]; then
@@ -21,7 +23,12 @@ if [[ "${1:-}" == "--quick" ]]; then
 fi
 
 cmake -B "$BUILD_DIR" -S "$REPO_ROOT" -DCMAKE_BUILD_TYPE=Release
-cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_esop
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_esop bench_dse
+
+# --- ESOP term-count gate ----------------------------------------------------
+
+BASELINE="$REPO_ROOT/BENCH_esop.json"
+FRESH="$BUILD_DIR/BENCH_esop.json"
 "$BUILD_DIR/bench/bench_esop" --out "$FRESH" "${QUICK_ARGS[@]}"
 
 if [[ ! -f "$BASELINE" ]]; then
@@ -63,5 +70,87 @@ if failures:
     for f in failures:
         print("  " + f)
     sys.exit(1)
-print("\nbenchmark OK (term counts within {:.0%} of baseline)".format(TERM_REGRESSION_LIMIT))
+print("\nesop benchmark OK (term counts within {:.0%} of baseline)".format(TERM_REGRESSION_LIMIT))
+EOF
+
+# --- DSE wall-clock gate -----------------------------------------------------
+
+DSE_BASELINE="$REPO_ROOT/BENCH_dse.json"
+DSE_FRESH="$BUILD_DIR/BENCH_dse.json"
+# --threads 1: the gate measures the caching engine; thread-count
+# differences between machines must not mask (or fake) a regression.
+"$BUILD_DIR/bench/bench_dse" --threads 1 --out "$DSE_FRESH" "${QUICK_ARGS[@]}"
+
+if [[ ! -f "$DSE_BASELINE" ]]; then
+  echo "No committed baseline at $DSE_BASELINE; copy $DSE_FRESH there to create one."
+  exit 1
+fi
+
+python3 - "$DSE_BASELINE" "$DSE_FRESH" <<'EOF'
+import json
+import sys
+
+WALL_REGRESSION_LIMIT = 0.10
+
+with open(sys.argv[1]) as f:
+    baseline = json.load(f)
+with open(sys.argv[2]) as f:
+    fresh = json.load(f)
+
+failures = []
+if not fresh.get("all_identical", False):
+    failures.append("cached sweep costs diverged from the sequential path")
+if fresh.get("verify", False) and not fresh.get("all_verified", False):
+    failures.append("a swept configuration failed verification")
+
+base_cases = {c["name"]: c for c in baseline["cases"]}
+fresh_cases = {c["name"]: c for c in fresh["cases"]}
+base_total = 0.0
+fresh_total = 0.0
+base_seq = 0.0
+fresh_seq = 0.0
+for name, base in sorted(base_cases.items()):
+    new = fresh_cases.get(name)
+    if new is None:
+        continue  # quick runs omit the larger cases
+    base_total += base["cached_wall_s"]
+    fresh_total += new["cached_wall_s"]
+    base_seq += base["seq_wall_s"]
+    fresh_seq += new["seq_wall_s"]
+    print(
+        f"{name}: cached {base['cached_wall_s']:.3f} -> {new['cached_wall_s']:.3f} s"
+        f"  (speedup vs sequential {new['speedup']:.2f}x)"
+    )
+
+# Primary, machine-independent gate: cached-vs-sequential speedup, both
+# halves measured in the same fresh run.  A >10% drop of that ratio vs
+# the baseline's means the caching engine itself regressed.
+base_speedup = (base_seq / base_total) if base_total > 0 else 0.0
+fresh_speedup = (fresh_seq / fresh_total) if fresh_total > 0 else 0.0
+if base_speedup > 0 and fresh_speedup < base_speedup * (1.0 - WALL_REGRESSION_LIMIT):
+    failures.append(
+        f"cached-vs-sequential speedup {fresh_speedup:.2f}x vs baseline "
+        f"{base_speedup:.2f}x (> {WALL_REGRESSION_LIMIT:.0%} regression)"
+    )
+
+# Secondary, machine-dependent gate: absolute cached wall clock.  Only
+# meaningful against a baseline recorded on the same machine — re-baseline
+# BENCH_dse.json there (see README) if this fires on different hardware.
+if base_total > 0 and fresh_total > base_total * (1.0 + WALL_REGRESSION_LIMIT):
+    failures.append(
+        f"cached sweep wall clock {fresh_total:.3f} s vs baseline {base_total:.3f} s "
+        f"(> {WALL_REGRESSION_LIMIT:.0%} regression; machine-dependent — "
+        f"re-baseline if hardware changed)"
+    )
+
+if failures:
+    print("\nBENCHMARK REGRESSIONS:")
+    for f in failures:
+        print("  " + f)
+    sys.exit(1)
+print(
+    "\ndse benchmark OK (cached wall {:.3f} s vs baseline {:.3f} s, within {:.0%})".format(
+        fresh_total, base_total, WALL_REGRESSION_LIMIT
+    )
+)
 EOF

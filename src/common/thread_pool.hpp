@@ -1,0 +1,156 @@
+/// \file thread_pool.hpp
+/// \brief Minimal fixed-size thread pool for the parallel DSE engine.
+///
+/// The pool owns `num_threads` workers draining a FIFO job queue.  With
+/// `num_threads <= 1` no worker threads are started and `submit` runs the
+/// job inline, so the sequential and parallel code paths share one call
+/// site and the sequential path stays deterministic and overhead-free.
+/// The first exception thrown by any job is captured and rethrown from
+/// `wait()` (subsequent jobs still run; their exceptions are dropped).
+
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace qsyn
+{
+
+class thread_pool
+{
+public:
+  /// Starts `num_threads` workers; 0 and 1 both mean "run jobs inline".
+  explicit thread_pool( unsigned num_threads )
+  {
+    if ( num_threads <= 1u )
+    {
+      return;
+    }
+    workers_.reserve( num_threads );
+    for ( unsigned t = 0; t < num_threads; ++t )
+    {
+      workers_.emplace_back( [this] { worker_loop(); } );
+    }
+  }
+
+  thread_pool( const thread_pool& ) = delete;
+  thread_pool& operator=( const thread_pool& ) = delete;
+
+  ~thread_pool()
+  {
+    {
+      std::unique_lock<std::mutex> lock( mutex_ );
+      stopping_ = true;
+    }
+    wake_workers_.notify_all();
+    for ( auto& worker : workers_ )
+    {
+      worker.join();
+    }
+  }
+
+  /// Enqueues a job (or runs it inline when the pool has no workers).
+  void submit( std::function<void()> job )
+  {
+    if ( workers_.empty() )
+    {
+      run_guarded( job );
+      return;
+    }
+    {
+      std::unique_lock<std::mutex> lock( mutex_ );
+      queue_.push_back( std::move( job ) );
+      ++outstanding_;
+    }
+    wake_workers_.notify_one();
+  }
+
+  /// Blocks until every submitted job has finished, then rethrows the
+  /// first job exception (if any).
+  void wait()
+  {
+    {
+      std::unique_lock<std::mutex> lock( mutex_ );
+      idle_.wait( lock, [this] { return outstanding_ == 0u; } );
+    }
+    std::exception_ptr error;
+    {
+      std::unique_lock<std::mutex> lock( mutex_ );
+      error = first_error_;
+      first_error_ = nullptr;
+    }
+    if ( error )
+    {
+      std::rethrow_exception( error );
+    }
+  }
+
+  /// Number of worker threads (0 = inline execution).
+  unsigned num_workers() const { return static_cast<unsigned>( workers_.size() ); }
+
+  /// The default worker count: the hardware concurrency, at least 1.
+  static unsigned default_num_threads()
+  {
+    const auto hw = std::thread::hardware_concurrency();
+    return hw == 0u ? 1u : hw;
+  }
+
+private:
+  void run_guarded( const std::function<void()>& job )
+  {
+    try
+    {
+      job();
+    }
+    catch ( ... )
+    {
+      std::unique_lock<std::mutex> lock( mutex_ );
+      if ( !first_error_ )
+      {
+        first_error_ = std::current_exception();
+      }
+    }
+  }
+
+  void worker_loop()
+  {
+    for ( ;; )
+    {
+      std::function<void()> job;
+      {
+        std::unique_lock<std::mutex> lock( mutex_ );
+        wake_workers_.wait( lock, [this] { return stopping_ || !queue_.empty(); } );
+        if ( queue_.empty() )
+        {
+          return; // stopping_ and drained
+        }
+        job = std::move( queue_.front() );
+        queue_.pop_front();
+      }
+      run_guarded( job );
+      {
+        std::unique_lock<std::mutex> lock( mutex_ );
+        if ( --outstanding_ == 0u )
+        {
+          idle_.notify_all();
+        }
+      }
+    }
+  }
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable wake_workers_;
+  std::condition_variable idle_;
+  std::size_t outstanding_ = 0;
+  bool stopping_ = false;
+  std::exception_ptr first_error_;
+};
+
+} // namespace qsyn

@@ -4,6 +4,10 @@
 #include <iomanip>
 #include <sstream>
 
+#include "../common/thread_pool.hpp"
+#include "../common/timer.hpp"
+#include "../verilog/elaborator.hpp"
+
 namespace qsyn
 {
 
@@ -43,6 +47,8 @@ std::string dse_label( const flow_params& params )
   case flow_kind::esop_based:
     return "esop(p=" + std::to_string( params.esop_p ) + ")";
   case flow_kind::hierarchical:
+    // No default labels: -Wswitch (enabled for the library) must keep
+    // flagging newly added enumerators here.
     switch ( params.cleanup )
     {
     case cleanup_strategy::keep_garbage:
@@ -52,23 +58,118 @@ std::string dse_label( const flow_params& params )
     case cleanup_strategy::eager:
       return "hierarchical(eager)";
     }
+    return "hierarchical(unknown)";
   }
   return "unknown";
 }
 
+namespace
+{
+
+unsigned resolve_num_threads( const explore_options& options )
+{
+  return options.num_threads == 0u ? thread_pool::default_num_threads() : options.num_threads;
+}
+
+/// The shared exploration core: fills `points[i]` from `configs[i]`,
+/// optionally through a shared artifact cache and on a thread pool.  Slots
+/// are written by index, so the result ordering (and, since every tail is
+/// deterministic, every cost number) is identical to the sequential path.
+std::vector<dse_point> explore_impl( const aig_network& aig,
+                                     const std::vector<flow_params>& configs,
+                                     const explore_options& options,
+                                     flow_artifact_cache* cache )
+{
+  std::vector<dse_point> points( configs.size() );
+  if ( cache )
+  {
+    // Fill the shared stages up front so the concurrent tails only hit.
+    for ( const auto& params : configs )
+    {
+      cache->prefetch( aig, params );
+    }
+  }
+
+  // Never start more workers than there are tails to run.
+  thread_pool pool( static_cast<unsigned>(
+      std::min<std::size_t>( resolve_num_threads( options ), configs.size() ) ) );
+  for ( std::size_t i = 0; i < configs.size(); ++i )
+  {
+    pool.submit( [&, i] {
+      auto& point = points[i];
+      point.label = dse_label( configs[i] );
+      point.params = configs[i];
+      if ( cache )
+      {
+        point.result = run_flow_staged( aig, configs[i], *cache );
+      }
+      else
+      {
+        point.result = run_flow_on_aig( aig, configs[i] );
+      }
+    } );
+  }
+  pool.wait();
+  return points;
+}
+
+} // namespace
+
 std::vector<dse_point> explore( const aig_network& aig, const std::vector<flow_params>& configs )
 {
-  std::vector<dse_point> points;
-  points.reserve( configs.size() );
-  for ( const auto& params : configs )
+  return explore( aig, configs, explore_options{} );
+}
+
+std::vector<dse_point> explore( const aig_network& aig, const std::vector<flow_params>& configs,
+                                const explore_options& options )
+{
+  if ( !options.use_cache )
   {
-    dse_point point;
-    point.label = dse_label( params );
-    point.params = params;
-    point.result = run_flow_on_aig( aig, params );
-    points.push_back( std::move( point ) );
+    return explore_impl( aig, configs, options, nullptr );
   }
-  return points;
+  flow_artifact_cache cache;
+  return explore_impl( aig, configs, options, &cache );
+}
+
+std::vector<dse_point> explore( const aig_network& aig, const std::vector<flow_params>& configs,
+                                const explore_options& options, flow_artifact_cache& cache )
+{
+  return explore_impl( aig, configs, options, &cache );
+}
+
+std::vector<design_exploration> explore_designs( const std::vector<reciprocal_design>& designs,
+                                                 unsigned min_bitwidth, unsigned max_bitwidth,
+                                                 const explore_options& options )
+{
+  std::vector<design_exploration> explorations;
+  for ( unsigned n = min_bitwidth; n <= max_bitwidth; ++n )
+  {
+    for ( const auto design : designs )
+    {
+      design_exploration entry;
+      entry.design = design;
+      entry.bitwidth = n;
+      entry.name = ( design == reciprocal_design::intdiv ? "INTDIV(" : "NEWTON(" ) +
+                   std::to_string( n ) + ")";
+      stopwatch watch;
+      const auto mod = verilog::elaborate_verilog( reciprocal_verilog( design, n ) );
+      const auto configs =
+          default_dse_configurations( n <= options.functional_max_bitwidth );
+      if ( options.use_cache )
+      {
+        flow_artifact_cache cache;
+        entry.points = explore( mod.aig, configs, options, cache );
+        entry.cache = cache.stats();
+      }
+      else
+      {
+        entry.points = explore( mod.aig, configs, options );
+      }
+      entry.wall_seconds = watch.elapsed_seconds();
+      explorations.push_back( std::move( entry ) );
+    }
+  }
+  return explorations;
 }
 
 std::vector<std::size_t> pareto_front( const std::vector<dse_point>& points )
@@ -107,7 +208,7 @@ std::string format_dse_table( const std::vector<dse_point>& points )
   std::ostringstream os;
   os << std::left << std::setw( 24 ) << "configuration" << std::right << std::setw( 8 )
      << "qubits" << std::setw( 14 ) << "T-count" << std::setw( 10 ) << "gates" << std::setw( 10 )
-     << "runtime" << "  pareto\n";
+     << "runtime" << std::setw( 10 ) << "verify" << "  pareto\n";
   for ( std::size_t i = 0; i < points.size(); ++i )
   {
     const auto& p = points[i];
@@ -115,7 +216,9 @@ std::string format_dse_table( const std::vector<dse_point>& points )
     os << std::left << std::setw( 24 ) << p.label << std::right << std::setw( 8 )
        << p.result.costs.qubits << std::setw( 14 ) << p.result.costs.t_count << std::setw( 10 )
        << p.result.costs.gates << std::setw( 9 ) << std::fixed << std::setprecision( 2 )
-       << p.result.runtime_seconds << "s" << ( on_front ? "  *" : "" ) << "\n";
+       << p.result.runtime_seconds << "s" << std::setw( 9 ) << std::fixed
+       << std::setprecision( 2 ) << p.result.verify_seconds << "s"
+       << ( on_front ? "  *" : "" ) << "\n";
   }
   return os.str();
 }

@@ -3,9 +3,16 @@
 ///
 /// "The various algorithms used both in classical and reversible logic
 /// synthesis enable nontrivial design space exploration" — this module runs
-/// a configurable set of flow configurations on one design and reports the
-/// full result list plus the Pareto frontier in the (qubits, T-count)
-/// plane, the two cost metrics the paper trades off.
+/// a configurable set of flow configurations on one design (or a batch of
+/// designs) and reports the full result list plus the Pareto frontier in
+/// the (qubits, T-count) plane, the two cost metrics the paper trades off.
+///
+/// The exploration engine is cached and concurrent: shared stage artifacts
+/// (optimized AIG, minimized ESOP cube list, resynthesized XMG) are
+/// computed once per design through a `flow_artifact_cache`, and the
+/// per-configuration synthesis tails run on a thread pool.  Result
+/// ordering — and every cost number — is identical to the sequential
+/// uncached path; only the wall clock changes.
 
 #pragma once
 
@@ -25,6 +32,21 @@ struct dse_point
   flow_result result;
 };
 
+/// Tuning knobs of the exploration engine.
+struct explore_options
+{
+  /// Worker threads for the per-configuration synthesis tails.
+  /// 0 = hardware concurrency, 1 = run inline (fully sequential).
+  unsigned num_threads = 0;
+  /// Share stage artifacts across configurations.  Disabling this (with
+  /// num_threads = 1) reproduces the original one-shot-per-configuration
+  /// sequential path exactly, which the benchmark uses as its baseline.
+  bool use_cache = true;
+  /// Largest bitwidth at which batch exploration includes the functional
+  /// flow (explicit synthesis range; `explore_designs` only).
+  unsigned functional_max_bitwidth = 9;
+};
+
 /// The default configuration sweep: functional, ESOP p=0/1/2, hierarchical
 /// with each cleanup strategy.  `include_functional` can be disabled for
 /// bitwidths beyond the explicit-synthesis range.
@@ -32,8 +54,34 @@ std::vector<flow_params> default_dse_configurations( bool include_functional = t
 
 std::string dse_label( const flow_params& params );
 
-/// Runs all configurations on a design AIG.
+/// Runs all configurations on a design AIG (cached + parallel by default;
+/// the returned points are ordered exactly like `configs`).
 std::vector<dse_point> explore( const aig_network& aig, const std::vector<flow_params>& configs );
+std::vector<dse_point> explore( const aig_network& aig, const std::vector<flow_params>& configs,
+                                const explore_options& options );
+/// As above, but stage artifacts live in (and cache statistics accumulate
+/// into) a caller-owned cache, which must be used for one design only.
+std::vector<dse_point> explore( const aig_network& aig, const std::vector<flow_params>& configs,
+                                const explore_options& options, flow_artifact_cache& cache );
+
+/// One design of a batch exploration.
+struct design_exploration
+{
+  reciprocal_design design = reciprocal_design::intdiv;
+  unsigned bitwidth = 0;
+  std::string name; ///< e.g. "INTDIV(6)"
+  std::vector<dse_point> points;
+  cache_stats cache;          ///< stage-artifact hit/miss counters
+  double wall_seconds = 0.0;  ///< elaboration + full sweep wall clock
+};
+
+/// Batch exploration: sweeps every design in `designs` for every bitwidth
+/// in [min_bitwidth, max_bitwidth] with `default_dse_configurations`
+/// (functional included up to `options.functional_max_bitwidth`).  Each
+/// design gets its own artifact cache.
+std::vector<design_exploration> explore_designs( const std::vector<reciprocal_design>& designs,
+                                                 unsigned min_bitwidth, unsigned max_bitwidth,
+                                                 const explore_options& options = {} );
 
 /// Indices of the Pareto-optimal points (minimizing qubits and T-count).
 std::vector<std::size_t> pareto_front( const std::vector<dse_point>& points );

@@ -3,13 +3,11 @@
 #include <stdexcept>
 
 #include "../common/timer.hpp"
-#include "../embed/embedding.hpp"
 #include "../reversible/verify.hpp"
 #include "../synth/aig_optimize.hpp"
 #include "../synth/collapse.hpp"
 #include "../synth/esop_extract.hpp"
 #include "../synth/exorcism.hpp"
-#include "../synth/xmg_resynth.hpp"
 #include "../verilog/elaborator.hpp"
 #include "../verilog/generators.hpp"
 
@@ -19,25 +17,24 @@ namespace qsyn
 namespace
 {
 
-/// Functional flow: collapse to truth tables, optimum embedding, TBS.
-/// The input variables are placed on the low lines, the outputs on the
-/// high lines (the embedding's layout); line metadata reflects Eq. (1).
-flow_result run_functional( const aig_network& aig, const flow_params& params )
+/// Functional synthesis tail: TBS over the cached embedding.  The input
+/// variables are placed on the low lines, the outputs on the high lines
+/// (the embedding's layout); line metadata reflects Eq. (1).
+flow_result functional_tail( const flow_artifact_cache::functional_artifact& art,
+                             const flow_params& params )
 {
   flow_result result;
-  const auto tts = collapse_to_truth_tables( aig );
-  auto embedding = embed_optimum( tts );
-  result.embedding_lines = embedding.num_lines;
-  result.max_collisions = embedding.max_collisions;
+  result.embedding_lines = art.embed.num_lines;
+  result.max_collisions = art.embed.max_collisions;
 
   tbs_params tparams;
   tparams.bidirectional = params.bidirectional_tbs;
-  result.circuit = tbs_synthesize( std::move( embedding.permutation ), tparams );
+  result.circuit = tbs_synthesize( art.embed.permutation, tparams );
 
   // Line metadata: inputs on the low n lines, outputs on the high m lines.
-  const auto r = embedding.num_lines;
-  const auto n = embedding.num_inputs;
-  const auto m = embedding.num_outputs;
+  const auto r = art.embed.num_lines;
+  const auto n = art.embed.num_inputs;
+  const auto m = art.embed.num_outputs;
   for ( unsigned l = 0; l < r; ++l )
   {
     auto& info = result.circuit.line( l );
@@ -57,78 +54,203 @@ flow_result run_functional( const aig_network& aig, const flow_params& params )
       info.is_garbage = false;
     }
   }
-  if ( params.verify )
-  {
-    result.verified = verify_against_truth_tables( result.circuit, tts );
-  }
-  return result;
-}
-
-/// ESOP flow: extract, minimize, synthesize.
-flow_result run_esop( const aig_network& aig, const flow_params& params )
-{
-  flow_result result;
-  auto expression = esop_from_aig( aig );
-  if ( params.run_exorcism )
-  {
-    exorcism( expression );
-  }
-  result.esop_terms = expression.num_terms();
-  esop_synth_params sparams;
-  sparams.p = params.esop_p;
-  result.circuit = esop_synthesize( expression, sparams );
-  if ( params.verify )
-  {
-    const auto cex = verify_against_aig_sampled( result.circuit, aig );
-    result.verified = !cex.has_value();
-  }
-  return result;
-}
-
-/// Hierarchical flow: LUT map + XMG resynthesis + hierarchical synthesis.
-flow_result run_hierarchical( const aig_network& aig, const flow_params& params )
-{
-  flow_result result;
-  xmg_resynth_stats xstats;
-  const auto xmg = xmg_from_aig( aig, 4u, &xstats );
-  result.xmg_maj = xmg.num_maj();
-  result.xmg_xor = xmg.num_xor();
-  hierarchical_params hparams;
-  hparams.cleanup = params.cleanup;
-  result.circuit = hierarchical_synthesize( xmg, hparams );
-  if ( params.verify )
-  {
-    const auto cex = verify_against_aig_sampled( result.circuit, aig );
-    result.verified = !cex.has_value();
-  }
   return result;
 }
 
 } // namespace
 
-flow_result run_flow_on_aig( const aig_network& aig, const flow_params& params )
-{
-  stopwatch watch;
-  auto optimized = optimize( aig, params.optimization_rounds );
+// --- flow_artifact_cache -----------------------------------------------------
 
-  flow_result result;
+void flow_artifact_cache::check_same_design( const aig_network& aig )
+{
+  if ( !bound_ )
+  {
+    bound_ = true;
+    bound_pis_ = aig.num_pis();
+    bound_pos_ = aig.num_pos();
+    bound_ands_ = aig.num_ands();
+    return;
+  }
+  if ( aig.num_pis() != bound_pis_ || aig.num_pos() != bound_pos_ ||
+       aig.num_ands() != bound_ands_ )
+  {
+    throw std::invalid_argument(
+        "flow_artifact_cache: cache is bound to one design AIG; use one cache per design" );
+  }
+}
+
+const aig_network& flow_artifact_cache::optimized_locked( const aig_network& aig,
+                                                          unsigned rounds )
+{
+  check_same_design( aig );
+  const auto it = optimized_.find( rounds );
+  if ( it != optimized_.end() )
+  {
+    ++stats_.hits;
+    return it->second;
+  }
+  ++stats_.misses;
+  return optimized_.emplace( rounds, optimize( aig, rounds ) ).first->second;
+}
+
+const aig_network& flow_artifact_cache::optimized( const aig_network& aig, unsigned rounds )
+{
+  std::lock_guard<std::mutex> lock( mutex_ );
+  return optimized_locked( aig, rounds );
+}
+
+const flow_artifact_cache::functional_artifact&
+flow_artifact_cache::functional_intermediate( const aig_network& aig, unsigned rounds )
+{
+  std::lock_guard<std::mutex> lock( mutex_ );
+  const auto it = functional_.find( rounds );
+  if ( it != functional_.end() )
+  {
+    ++stats_.hits;
+    return it->second;
+  }
+  const auto& opt = optimized_locked( aig, rounds );
+  ++stats_.misses;
+  functional_artifact art;
+  art.outputs = collapse_to_truth_tables( opt );
+  art.embed = embed_optimum( art.outputs );
+  return functional_.emplace( rounds, std::move( art ) ).first->second;
+}
+
+const flow_artifact_cache::esop_artifact&
+flow_artifact_cache::esop_intermediate( const aig_network& aig, unsigned rounds,
+                                        bool run_exorcism )
+{
+  std::lock_guard<std::mutex> lock( mutex_ );
+  const auto key = std::make_pair( rounds, run_exorcism );
+  const auto it = esops_.find( key );
+  if ( it != esops_.end() )
+  {
+    ++stats_.hits;
+    return it->second;
+  }
+  const auto& opt = optimized_locked( aig, rounds );
+  ++stats_.misses;
+  esop_artifact art;
+  art.expression = esop_from_aig( opt );
+  if ( run_exorcism )
+  {
+    exorcism( art.expression );
+  }
+  art.terms = art.expression.num_terms();
+  return esops_.emplace( key, std::move( art ) ).first->second;
+}
+
+const flow_artifact_cache::xmg_artifact&
+flow_artifact_cache::xmg_intermediate( const aig_network& aig, unsigned rounds )
+{
+  std::lock_guard<std::mutex> lock( mutex_ );
+  const auto it = xmgs_.find( rounds );
+  if ( it != xmgs_.end() )
+  {
+    ++stats_.hits;
+    return it->second;
+  }
+  const auto& opt = optimized_locked( aig, rounds );
+  ++stats_.misses;
+  xmg_artifact art;
+  art.graph = xmg_from_aig( opt, 4u, &art.stats );
+  return xmgs_.emplace( rounds, std::move( art ) ).first->second;
+}
+
+void flow_artifact_cache::prefetch( const aig_network& aig, const flow_params& params )
+{
+  // Each stage intermediate computes the optimized AIG itself on a miss,
+  // so no separate optimized() access (it would only skew the counters).
   switch ( params.kind )
   {
   case flow_kind::functional:
-    result = run_functional( optimized, params );
+    functional_intermediate( aig, params.optimization_rounds );
     break;
   case flow_kind::esop_based:
-    result = run_esop( optimized, params );
+    esop_intermediate( aig, params.optimization_rounds, params.run_exorcism );
     break;
   case flow_kind::hierarchical:
-    result = run_hierarchical( optimized, params );
+    xmg_intermediate( aig, params.optimization_rounds );
     break;
+  }
+}
+
+cache_stats flow_artifact_cache::stats() const
+{
+  std::lock_guard<std::mutex> lock( mutex_ );
+  return stats_;
+}
+
+// --- staged flow driver ------------------------------------------------------
+
+flow_result run_flow_staged( const aig_network& aig, const flow_params& params,
+                             flow_artifact_cache& cache )
+{
+  stopwatch watch;
+  const auto& optimized = cache.optimized( aig, params.optimization_rounds );
+
+  flow_result result;
+  const std::vector<truth_table>* verify_outputs = nullptr;
+  switch ( params.kind )
+  {
+  case flow_kind::functional:
+  {
+    const auto& art = cache.functional_intermediate( aig, params.optimization_rounds );
+    result = functional_tail( art, params );
+    verify_outputs = &art.outputs;
+    break;
+  }
+  case flow_kind::esop_based:
+  {
+    const auto& art =
+        cache.esop_intermediate( aig, params.optimization_rounds, params.run_exorcism );
+    result.esop_terms = art.terms;
+    esop_synth_params sparams;
+    sparams.p = params.esop_p;
+    result.circuit = esop_synthesize( art.expression, sparams );
+    break;
+  }
+  case flow_kind::hierarchical:
+  {
+    const auto& art = cache.xmg_intermediate( aig, params.optimization_rounds );
+    result.xmg_maj = art.graph.num_maj();
+    result.xmg_xor = art.graph.num_xor();
+    hierarchical_params hparams;
+    hparams.cleanup = params.cleanup;
+    result.circuit = hierarchical_synthesize( art.graph, hparams );
+    break;
+  }
   }
   result.aig_nodes_initial = aig.num_ands();
   result.aig_nodes_optimized = optimized.num_ands();
   result.costs = report_costs( result.circuit );
+  // Synthesis runtime only: the stopwatch stops BEFORE verification, which
+  // is simulation and was previously (wrongly) folded into every reported
+  // runtime column.
   result.runtime_seconds = watch.elapsed_seconds();
+
+  if ( params.verify )
+  {
+    stopwatch verify_watch;
+    if ( verify_outputs )
+    {
+      result.verified = verify_against_truth_tables( result.circuit, *verify_outputs );
+    }
+    else
+    {
+      const auto cex = verify_against_aig_sampled( result.circuit, optimized );
+      result.verified = !cex.has_value();
+    }
+    result.verify_seconds = verify_watch.elapsed_seconds();
+  }
   return result;
+}
+
+flow_result run_flow_on_aig( const aig_network& aig, const flow_params& params )
+{
+  flow_artifact_cache cache;
+  return run_flow_staged( aig, params, cache );
 }
 
 flow_result run_flow_on_verilog( const std::string& verilog_source, const flow_params& params )

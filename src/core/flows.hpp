@@ -13,21 +13,40 @@
 ///                       (XMG, cleanup strategy),
 ///   quantum level     — qubit / T-count accounting (cost model, cost.hpp).
 ///
+/// The flow is decomposed into explicit stages whose intermediate artifacts
+/// (the optimized AIG, the collapsed truth tables + embedding, the
+/// minimized ESOP cube list, the resynthesized XMG) live in a
+/// `flow_artifact_cache` keyed on the parameter subset each stage actually
+/// depends on.  A design-space sweep therefore optimizes the AIG once,
+/// runs ESOP extraction + exorcism once across all `esop_p` values, and
+/// builds the XMG once across all cleanup strategies; only the
+/// per-configuration synthesis tails repeat.  `run_flow_on_aig` remains
+/// the one-shot convenience wrapper around a private cache.
+///
 /// The flow result carries the reversible circuit, the cost report, the
-/// runtime, and intermediate statistics — everything the paper's tables
-/// report, so the bench binaries are thin wrappers around run_flow().
+/// synthesis runtime (verification is timed separately in
+/// `verify_seconds`), and intermediate statistics — everything the paper's
+/// tables report, so the bench binaries are thin wrappers around run_flow().
 
 #pragma once
 
+#include <cstddef>
+#include <map>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "../embed/embedding.hpp"
 #include "../logic/aig.hpp"
+#include "../logic/truth_table.hpp"
 #include "../reversible/circuit.hpp"
 #include "../reversible/cost.hpp"
 #include "../rsynth/esop_synth.hpp"
 #include "../rsynth/hierarchical.hpp"
 #include "../rsynth/tbs.hpp"
+#include "../synth/xmg_resynth.hpp"
 
 namespace qsyn
 {
@@ -62,7 +81,10 @@ struct flow_result
 {
   reversible_circuit circuit;
   cost_report costs;
-  double runtime_seconds = 0.0;
+  double runtime_seconds = 0.0; ///< synthesis only; prefetched cache hits
+                                ///< cost ~0 (a hit racing the computing
+                                ///< thread blocks, and that wait counts)
+  double verify_seconds = 0.0;  ///< verification simulation time (0 if off)
   bool verified = false;
 
   /// Intermediate statistics.
@@ -75,7 +97,90 @@ struct flow_result
   std::uint64_t max_collisions = 0;  ///< functional flow (mu)
 };
 
-/// Runs a flow on an already-elaborated AIG.
+/// Cache hit/miss counters (one "access" per stage lookup).
+struct cache_stats
+{
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+};
+
+/// Memoizes the stage artifacts of the flows for ONE design AIG (a size
+/// fingerprint rejects obvious cross-design reuse, but equal-sized
+/// distinct designs are on the caller — use one cache per design).  Each
+/// artifact is keyed on the parameter subset the stage depends on, so a
+/// sweep over `esop_p` or cleanup strategies shares everything upstream of
+/// the synthesis tail.  All accessors are thread-safe (one mutex; an
+/// artifact is computed under the lock, so concurrent first accesses of
+/// the same key compute it once, and concurrent lookups of a key being
+/// computed block until it is ready).  References returned remain valid
+/// for the cache's lifetime (map nodes are stable).
+class flow_artifact_cache
+{
+public:
+  /// Functional back-end intermediate: collapsed output truth tables and
+  /// the line-optimum embedding.
+  struct functional_artifact
+  {
+    std::vector<truth_table> outputs;
+    embedding embed;
+  };
+
+  /// ESOP back-end intermediate: the (optionally exorcism-minimized) cube
+  /// list shared by every `esop_p` tail.
+  struct esop_artifact
+  {
+    esop expression;
+    std::size_t terms = 0;
+  };
+
+  /// Hierarchical back-end intermediate: the XMG shared by every cleanup
+  /// strategy tail.
+  struct xmg_artifact
+  {
+    xmg_network graph;
+    xmg_resynth_stats stats;
+  };
+
+  /// Optimized AIG, keyed on the number of dc2-style rounds.
+  const aig_network& optimized( const aig_network& aig, unsigned rounds );
+  /// Collapse + optimum embedding, keyed on rounds.
+  const functional_artifact& functional_intermediate( const aig_network& aig, unsigned rounds );
+  /// Extraction + optional exorcism, keyed on (rounds, run_exorcism).
+  const esop_artifact& esop_intermediate( const aig_network& aig, unsigned rounds,
+                                          bool run_exorcism );
+  /// LUT map + XMG resynthesis, keyed on rounds.
+  const xmg_artifact& xmg_intermediate( const aig_network& aig, unsigned rounds );
+
+  /// Computes every artifact the given configuration will look up, so a
+  /// subsequent `run_flow_staged` only runs the synthesis tail.
+  void prefetch( const aig_network& aig, const flow_params& params );
+
+  cache_stats stats() const;
+
+private:
+  const aig_network& optimized_locked( const aig_network& aig, unsigned rounds );
+  void check_same_design( const aig_network& aig );
+
+  mutable std::mutex mutex_;
+  std::map<unsigned, aig_network> optimized_;
+  std::map<unsigned, functional_artifact> functional_;
+  std::map<std::pair<unsigned, bool>, esop_artifact> esops_;
+  std::map<unsigned, xmg_artifact> xmgs_;
+  cache_stats stats_;
+  bool bound_ = false;        ///< cache is bound to the first design seen
+  unsigned bound_pis_ = 0;    ///< best-effort guard against cross-design reuse
+  unsigned bound_pos_ = 0;    ///< (size fingerprint only — equal-sized distinct
+  std::size_t bound_ands_ = 0; ///< designs are NOT detected; contract above)
+};
+
+/// Runs a flow on an already-elaborated AIG, reading shared stage
+/// artifacts from (and adding missing ones to) the given cache.  Cost and
+/// circuit results are bit-identical to the uncached path; only
+/// `runtime_seconds` shrinks on cache hits.
+flow_result run_flow_staged( const aig_network& aig, const flow_params& params,
+                             flow_artifact_cache& cache );
+
+/// Runs a flow on an already-elaborated AIG (one-shot private cache).
 flow_result run_flow_on_aig( const aig_network& aig, const flow_params& params );
 
 /// Runs a flow on Verilog source (parse, elaborate, optimize, synthesize).

@@ -110,6 +110,28 @@ std::optional<std::vector<bool>> verify_against_aig_sampled( const reversible_ci
   {
     throw std::invalid_argument( "verify_against_aig_sampled: input arity mismatch" );
   }
+  // When the whole input space is no larger than the sample budget,
+  // enumerate it exhaustively: random sampling would draw duplicate
+  // vectors and could certify a tiny design without ever covering it.
+  const auto num_pis = aig.num_pis();
+  if ( num_pis < 64u && ( std::uint64_t{ 1 } << num_pis ) <= num_samples )
+  {
+    for ( std::uint64_t x = 0; x < ( std::uint64_t{ 1 } << num_pis ); ++x )
+    {
+      std::vector<bool> inputs( num_pis );
+      for ( unsigned i = 0; i < num_pis; ++i )
+      {
+        inputs[i] = ( x >> i ) & 1u;
+      }
+      const auto expected = aig.evaluate( inputs );
+      const auto actual = evaluate_circuit( circuit, inputs );
+      if ( expected != actual )
+      {
+        return inputs;
+      }
+    }
+    return std::nullopt;
+  }
   std::mt19937_64 rng( seed );
   for ( unsigned s = 0; s < num_samples + 2u; ++s )
   {

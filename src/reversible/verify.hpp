@@ -36,7 +36,9 @@ bool verify_against_truth_tables( const reversible_circuit& circuit,
                                   const std::vector<truth_table>& outputs );
 
 /// Checks the circuit against an AIG on `num_samples` random input
-/// assignments (plus the all-zero and all-one patterns).  Returns the first
+/// assignments (plus the all-zero and all-one patterns).  When
+/// 2^num_pis <= num_samples the check is exhaustive instead — same budget,
+/// full coverage, and a real proof for small designs.  Returns the first
 /// failing input if any.
 std::optional<std::vector<bool>> verify_against_aig_sampled( const reversible_circuit& circuit,
                                                              const aig_network& aig,
