@@ -12,11 +12,15 @@
 /// extend the perf trajectory.
 ///
 /// Usage: bench_dse [--out FILE] [--quick] [--max N] [--threads N] [--no-verify]
+///                  [--verify-mode sampled|exhaustive|sat]
 ///
-/// The default sweep stops at n = 7: from n = 8 on, per-point verification
-/// simulation — identical work on both paths, untouched by the engine —
-/// dominates the wall clock and drowns the measurement (pass --max 8, or
-/// --no-verify, to see it).
+/// Verification runs through the tiered engine (`verify_mode`): 64-way
+/// bit-parallel sampled simulation by default, exhaustive enumeration or a
+/// SAT miter on request; per-case verification seconds are reported
+/// separately from the synthesis wall clocks.  (The default sweep used to
+/// stop at n = 7 because scalar per-point simulation dominated from n = 8
+/// on; the block engine removed that cliff, and the sweep ceiling is kept
+/// only for wall-clock continuity of the committed baseline.)
 
 #include <algorithm>
 #include <cstdio>
@@ -43,6 +47,7 @@ struct case_result
   double cached_wall_s = 0.0;
   std::size_t cache_hits = 0;
   std::size_t cache_misses = 0;
+  double verify_s = 0.0; ///< cached-path verification seconds, summed
   bool identical = true;
   bool all_verified = true;
 };
@@ -66,7 +71,7 @@ bool points_identical( const std::vector<dse_point>& a, const std::vector<dse_po
 }
 
 case_result run_case( reciprocal_design design, unsigned n, bool include_functional,
-                      bool verify, unsigned num_threads )
+                      bool verify, verify_mode mode, unsigned num_threads )
 {
   case_result r;
   r.name = ( design == reciprocal_design::intdiv ? "intdiv-n" : "newton-n" ) + std::to_string( n );
@@ -77,6 +82,7 @@ case_result run_case( reciprocal_design design, unsigned n, bool include_functio
   for ( auto& c : configs )
   {
     c.verify = verify;
+    c.verification = mode;
   }
   r.num_configs = configs.size();
 
@@ -105,6 +111,7 @@ case_result run_case( reciprocal_design design, unsigned n, bool include_functio
     for ( const auto& p : cached_points )
     {
       r.all_verified = r.all_verified && p.result.verified;
+      r.verify_s += p.result.verify_seconds;
     }
     for ( const auto& p : seq_points )
     {
@@ -112,25 +119,27 @@ case_result run_case( reciprocal_design design, unsigned n, bool include_functio
     }
   }
 
-  std::printf( "%-12s %zu configs | seq %8.3f s | cached %8.3f s (%.2fx) | %zu hits %zu misses | %s%s\n",
+  std::printf( "%-12s %zu configs | seq %8.3f s | cached %8.3f s (%.2fx) | verify %6.3f s | %zu hits %zu misses | %s%s\n",
                r.name.c_str(), r.num_configs, r.seq_wall_s, r.cached_wall_s,
-               r.seq_wall_s / ( r.cached_wall_s > 0 ? r.cached_wall_s : 1e-9 ), r.cache_hits,
-               r.cache_misses, r.identical ? "identical" : "COSTS DIVERGED",
+               r.seq_wall_s / ( r.cached_wall_s > 0 ? r.cached_wall_s : 1e-9 ), r.verify_s,
+               r.cache_hits, r.cache_misses, r.identical ? "identical" : "COSTS DIVERGED",
                verify ? ( r.all_verified ? ", verified" : ", VERIFY FAILED" ) : "" );
   return r;
 }
 
 void write_json( const char* path, const std::vector<case_result>& cases, bool verify,
-                 unsigned num_threads )
+                 verify_mode mode, unsigned num_threads )
 {
   double total_seq = 0.0;
   double total_cached = 0.0;
+  double total_verify = 0.0;
   bool all_identical = true;
   bool all_verified = true;
   for ( const auto& c : cases )
   {
     total_seq += c.seq_wall_s;
     total_cached += c.cached_wall_s;
+    total_verify += c.verify_s;
     all_identical = all_identical && c.identical;
     all_verified = all_verified && c.all_verified;
   }
@@ -141,8 +150,11 @@ void write_json( const char* path, const std::vector<case_result>& cases, bool v
     std::fprintf( stderr, "cannot open %s for writing\n", path );
     std::exit( 1 );
   }
-  std::fprintf( f, "{\n  \"bench\": \"dse\",\n  \"schema_version\": 1,\n" );
+  std::fprintf( f, "{\n  \"bench\": \"dse\",\n  \"schema_version\": 2,\n" );
   std::fprintf( f, "  \"verify\": %s,\n", verify ? "true" : "false" );
+  std::fprintf( f, "  \"verify_mode\": \"%s\",\n",
+                verify_mode_name( mode ).c_str() );
+  std::fprintf( f, "  \"total_verify_s\": %.4f,\n", total_verify );
   std::fprintf( f, "  \"num_threads\": %u,\n", num_threads );
   std::fprintf( f, "  \"total_seq_wall_s\": %.3f,\n", total_seq );
   std::fprintf( f, "  \"total_cached_wall_s\": %.3f,\n", total_cached );
@@ -162,6 +174,7 @@ void write_json( const char* path, const std::vector<case_result>& cases, bool v
     std::fprintf( f, "      \"cached_wall_s\": %.4f,\n", c.cached_wall_s );
     std::fprintf( f, "      \"speedup\": %.2f,\n",
                   c.seq_wall_s / ( c.cached_wall_s > 0 ? c.cached_wall_s : 1e-9 ) );
+    std::fprintf( f, "      \"verify_s\": %.4f,\n", c.verify_s );
     std::fprintf( f, "      \"cache_hits\": %zu,\n", c.cache_hits );
     std::fprintf( f, "      \"cache_misses\": %zu,\n", c.cache_misses );
     std::fprintf( f, "      \"identical\": %s\n", c.identical ? "true" : "false" );
@@ -178,6 +191,7 @@ int main( int argc, char** argv )
   const char* out_path = "BENCH_dse.json";
   bool quick = false;
   bool verify = true;
+  verify_mode mode = verify_mode::sampled;
   unsigned num_threads = 0; // hardware concurrency
   unsigned max_n = 7;
   for ( int i = 1; i < argc; ++i )
@@ -193,6 +207,18 @@ int main( int argc, char** argv )
     else if ( std::strcmp( argv[i], "--no-verify" ) == 0 )
     {
       verify = false;
+    }
+    else if ( std::strcmp( argv[i], "--verify-mode" ) == 0 && i + 1 < argc )
+    {
+      const auto parsed = verify_mode_from_name( argv[++i] );
+      if ( !parsed )
+      {
+        std::fprintf( stderr, "unknown --verify-mode '%s' (none|sampled|exhaustive|sat)\n",
+                      argv[i] );
+        return 1;
+      }
+      mode = *parsed;
+      verify = mode != verify_mode::none;
     }
     else if ( std::strcmp( argv[i], "--max" ) == 0 && i + 1 < argc )
     {
@@ -218,11 +244,12 @@ int main( int argc, char** argv )
   {
     for ( const auto design : { reciprocal_design::intdiv, reciprocal_design::newton } )
     {
-      cases.push_back( run_case( design, n, n <= functional_max_n, verify, num_threads ) );
+      cases.push_back(
+          run_case( design, n, n <= functional_max_n, verify, mode, num_threads ) );
     }
   }
 
-  write_json( out_path, cases, verify, num_threads );
+  write_json( out_path, cases, verify, mode, num_threads );
   std::printf( "\nwrote %s\n", out_path );
 
   bool ok = true;

@@ -1,0 +1,224 @@
+/// \file bench_verify.cpp
+/// \brief Benchmark of the verification engine: the scalar seed path (one
+/// `std::vector<bool>` assignment at a time) against the 64-way
+/// bit-parallel block engine, plus the SAT tier, on exhaustive
+/// verification of the INTDIV/NEWTON designs.
+///
+/// For every (design, bitwidth, flow) case the benchmark runs exhaustive
+/// circuit-vs-AIG verification three ways — scalar enumeration, block
+/// enumeration (`verify_against_aig_exhaustive`), and the SAT miter
+/// (`verify_against_aig_sat`) — asserting that all tiers accept the
+/// correct circuit and reject a deliberately corrupted copy, and that the
+/// scalar and block counterexamples are bit-identical.  It writes
+/// BENCH_verify.json with per-case wall clocks and the block-vs-scalar
+/// speedup so every future PR can extend the perf trajectory
+/// (scripts/run_bench.sh gates on it).
+///
+/// Usage: bench_verify [--out FILE] [--quick]
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/timer.hpp"
+#include "core/flows.hpp"
+#include "reversible/verify.hpp"
+#include "synth/aig_optimize.hpp"
+#include "verilog/elaborator.hpp"
+
+namespace
+{
+
+using namespace qsyn;
+
+/// The seed's scalar exhaustive check: one heap-allocated assignment and
+/// one full AIG + circuit evaluation per input vector.  Kept here as the
+/// reference the block engine is measured (and bit-compared) against.
+std::optional<std::vector<bool>> scalar_exhaustive( const reversible_circuit& circuit,
+                                                    const aig_network& aig )
+{
+  const auto num_pis = aig.num_pis();
+  for ( std::uint64_t x = 0; x < ( std::uint64_t{ 1 } << num_pis ); ++x )
+  {
+    std::vector<bool> inputs( num_pis );
+    for ( unsigned i = 0; i < num_pis; ++i )
+    {
+      inputs[i] = ( x >> i ) & 1u;
+    }
+    if ( aig.evaluate( inputs ) != evaluate_circuit( circuit, inputs ) )
+    {
+      return inputs;
+    }
+  }
+  return std::nullopt;
+}
+
+/// Runs `fn` repeatedly until ~0.5 s of wall clock accumulates (at least
+/// once) and returns the average milliseconds per run.  The accumulation
+/// window keeps the sub-millisecond block timings stable enough for the
+/// regression gate in scripts/run_bench.sh.
+template<typename Fn>
+double time_ms( Fn&& fn )
+{
+  stopwatch watch;
+  unsigned reps = 0;
+  double elapsed = 0.0;
+  do
+  {
+    fn();
+    ++reps;
+    elapsed = watch.elapsed_seconds();
+  } while ( elapsed < 0.5 && reps < 100000u );
+  return elapsed * 1000.0 / reps;
+}
+
+struct case_result
+{
+  std::string name;
+  unsigned pis = 0;
+  unsigned lines = 0;
+  std::size_t gates = 0;
+  double scalar_ms = 0.0;
+  double block_ms = 0.0;
+  double speedup = 0.0;
+  double sat_ms = 0.0;
+  bool tiers_agree = true;      ///< all tiers accept the correct circuit,
+                                ///< scalar == block bit-for-bit
+  bool corrupt_rejected = true; ///< all tiers reject the corrupted circuit
+};
+
+case_result run_case( reciprocal_design design, unsigned n, flow_kind kind )
+{
+  case_result r;
+  r.name = std::string( design == reciprocal_design::intdiv ? "intdiv" : "newton" ) + "-n" +
+           std::to_string( n ) + ( kind == flow_kind::esop_based ? "-esop" : "-hier" );
+
+  const auto mod = verilog::elaborate_verilog( reciprocal_verilog( design, n ) );
+  flow_params params;
+  params.kind = kind;
+  params.verify = false;
+  const auto flow = run_flow_on_aig( mod.aig, params );
+  const auto spec = optimize( mod.aig, params.optimization_rounds );
+  const auto& circuit = flow.circuit;
+  r.pis = spec.num_pis();
+  r.lines = circuit.num_lines();
+  r.gates = circuit.num_gates();
+
+  // --- correct circuit: every tier must accept -------------------------------
+  const auto scalar_cex = scalar_exhaustive( circuit, spec );
+  const auto block_cex = verify_against_aig_exhaustive( circuit, spec );
+  stopwatch sat_watch;
+  const auto sat_cex = verify_against_aig_sat( circuit, spec );
+  r.sat_ms = sat_watch.elapsed_seconds() * 1000.0;
+  r.tiers_agree = !scalar_cex && !block_cex && !sat_cex;
+
+  r.scalar_ms = time_ms( [&] { (void)scalar_exhaustive( circuit, spec ); } );
+  r.block_ms = time_ms( [&] { (void)verify_against_aig_exhaustive( circuit, spec ); } );
+  r.speedup = r.block_ms > 0.0 ? r.scalar_ms / r.block_ms : 0.0;
+
+  // --- corrupted circuit: every tier must reject, scalar == block ------------
+  const auto corrupted = corrupt_circuit( circuit, spec );
+  const auto scalar_bad = scalar_exhaustive( corrupted, spec );
+  const auto block_bad = verify_against_aig_exhaustive( corrupted, spec );
+  const auto sat_bad = verify_against_aig_sat( corrupted, spec );
+  r.corrupt_rejected = scalar_bad.has_value() && block_bad.has_value() && sat_bad.has_value();
+  // Scalar and block enumerate in the same order: identical counterexample.
+  r.tiers_agree = r.tiers_agree && scalar_bad == block_bad;
+  if ( sat_bad )
+  {
+    // The SAT counterexample is solver-dependent; require it to be real.
+    r.corrupt_rejected = r.corrupt_rejected &&
+                         evaluate_circuit( corrupted, *sat_bad ) != spec.evaluate( *sat_bad );
+  }
+
+  std::printf( "%-16s pis %2u  gates %6zu | scalar %9.3f ms | block %8.4f ms (%6.1fx) | "
+               "sat %8.2f ms | %s%s\n",
+               r.name.c_str(), r.pis, r.gates, r.scalar_ms, r.block_ms, r.speedup, r.sat_ms,
+               r.tiers_agree ? "agree" : "TIERS DIVERGED",
+               r.corrupt_rejected ? "" : ", CORRUPTION MISSED" );
+  return r;
+}
+
+void write_json( const char* path, const std::vector<case_result>& cases )
+{
+  bool all_agree = true;
+  double min_speedup = 0.0;
+  for ( const auto& c : cases )
+  {
+    all_agree = all_agree && c.tiers_agree && c.corrupt_rejected;
+    min_speedup = min_speedup == 0.0 ? c.speedup : std::min( min_speedup, c.speedup );
+  }
+  FILE* f = std::fopen( path, "w" );
+  if ( !f )
+  {
+    std::fprintf( stderr, "cannot open %s for writing\n", path );
+    std::exit( 1 );
+  }
+  std::fprintf( f, "{\n  \"bench\": \"verify\",\n  \"schema_version\": 1,\n" );
+  std::fprintf( f, "  \"all_agree\": %s,\n", all_agree ? "true" : "false" );
+  std::fprintf( f, "  \"min_speedup\": %.1f,\n", min_speedup );
+  std::fprintf( f, "  \"cases\": [\n" );
+  for ( std::size_t i = 0; i < cases.size(); ++i )
+  {
+    const auto& c = cases[i];
+    std::fprintf( f, "    {\n" );
+    std::fprintf( f, "      \"name\": \"%s\",\n", c.name.c_str() );
+    std::fprintf( f, "      \"pis\": %u,\n", c.pis );
+    std::fprintf( f, "      \"lines\": %u,\n", c.lines );
+    std::fprintf( f, "      \"gates\": %zu,\n", c.gates );
+    std::fprintf( f, "      \"scalar_ms\": %.4f,\n", c.scalar_ms );
+    std::fprintf( f, "      \"block_ms\": %.4f,\n", c.block_ms );
+    std::fprintf( f, "      \"speedup\": %.1f,\n", c.speedup );
+    std::fprintf( f, "      \"sat_ms\": %.2f,\n", c.sat_ms );
+    std::fprintf( f, "      \"tiers_agree\": %s,\n", c.tiers_agree ? "true" : "false" );
+    std::fprintf( f, "      \"corrupt_rejected\": %s\n", c.corrupt_rejected ? "true" : "false" );
+    std::fprintf( f, "    }%s\n", i + 1 < cases.size() ? "," : "" );
+  }
+  std::fprintf( f, "  ]\n}\n" );
+  std::fclose( f );
+}
+
+} // namespace
+
+int main( int argc, char** argv )
+{
+  const char* out_path = "BENCH_verify.json";
+  bool quick = false;
+  for ( int i = 1; i < argc; ++i )
+  {
+    if ( std::strcmp( argv[i], "--out" ) == 0 && i + 1 < argc )
+    {
+      out_path = argv[++i];
+    }
+    else if ( std::strcmp( argv[i], "--quick" ) == 0 )
+    {
+      quick = true;
+    }
+  }
+
+  std::vector<case_result> cases;
+  const unsigned max_n = quick ? 7u : 8u;
+  for ( unsigned n = 7u; n <= max_n; ++n )
+  {
+    for ( const auto design : { reciprocal_design::intdiv, reciprocal_design::newton } )
+    {
+      for ( const auto kind : { flow_kind::esop_based, flow_kind::hierarchical } )
+      {
+        cases.push_back( run_case( design, n, kind ) );
+      }
+    }
+  }
+
+  write_json( out_path, cases );
+  std::printf( "\nwrote %s\n", out_path );
+
+  bool ok = true;
+  for ( const auto& c : cases )
+  {
+    ok = ok && c.tiers_agree && c.corrupt_rejected;
+  }
+  return ok ? 0 : 1;
+}

@@ -7,7 +7,11 @@
 /// comparison.  A thin wrapper around the batch exploration engine
 /// (`explore_designs`): artifact caching and the thread pool come for free.
 ///
-/// Usage: dse_pareto [--n N] [--threads N]
+/// Usage: dse_pareto [--n N] [--threads N] [--verify none|sampled|exhaustive|sat]
+///
+/// `--verify` picks the verification tier of the sweep (default: sampled,
+/// the 64-way bit-parallel simulator; `sat` closes every point with a
+/// proof via the miter engine in src/sat/).
 
 #include <cstdio>
 #include <cstring>
@@ -32,9 +36,21 @@ int main( int argc, char** argv )
     {
       options.num_threads = static_cast<unsigned>( std::atoi( argv[++i] ) );
     }
+    else if ( std::strcmp( argv[i], "--verify" ) == 0 && i + 1 < argc )
+    {
+      const auto parsed = verify_mode_from_name( argv[++i] );
+      if ( !parsed )
+      {
+        std::fprintf( stderr, "unknown --verify '%s' (none|sampled|exhaustive|sat)\n",
+                      argv[i] );
+        return 1;
+      }
+      options.verification = *parsed;
+    }
   }
 
-  std::printf( "DESIGN SPACE EXPLORATION: reciprocal 1/x, n = %u\n\n", n );
+  std::printf( "DESIGN SPACE EXPLORATION: reciprocal 1/x, n = %u (verify: %s)\n\n", n,
+               verify_mode_name( options.verification ).c_str() );
   const auto explorations = explore_designs(
       { reciprocal_design::intdiv, reciprocal_design::newton }, n, n, options );
   for ( const auto& e : explorations )

@@ -153,8 +153,13 @@ std::vector<design_exploration> explore_designs( const std::vector<reciprocal_de
                    std::to_string( n ) + ")";
       stopwatch watch;
       const auto mod = verilog::elaborate_verilog( reciprocal_verilog( design, n ) );
-      const auto configs =
+      auto configs =
           default_dse_configurations( n <= options.functional_max_bitwidth );
+      for ( auto& config : configs )
+      {
+        config.verify = options.verification != verify_mode::none;
+        config.verification = options.verification;
+      }
       if ( options.use_cache )
       {
         flow_artifact_cache cache;

@@ -45,6 +45,10 @@ struct explore_options
   /// Largest bitwidth at which batch exploration includes the functional
   /// flow (explicit synthesis range; `explore_designs` only).
   unsigned functional_max_bitwidth = 9;
+  /// Verification tier applied to every swept configuration
+  /// (`explore_designs` only; `explore` takes fully-specified configs).
+  /// `verify_mode::none` disables verification for the whole sweep.
+  verify_mode verification = verify_mode::sampled;
 };
 
 /// The default configuration sweep: functional, ESOP p=0/1/2, hierarchical

@@ -14,6 +14,43 @@
 namespace qsyn
 {
 
+std::string verify_mode_name( verify_mode mode )
+{
+  switch ( mode )
+  {
+  case verify_mode::none:
+    return "none";
+  case verify_mode::sampled:
+    return "sampled";
+  case verify_mode::exhaustive:
+    return "exhaustive";
+  case verify_mode::sat:
+    return "sat";
+  }
+  return "unknown";
+}
+
+std::optional<verify_mode> verify_mode_from_name( const std::string& name )
+{
+  if ( name == "none" )
+  {
+    return verify_mode::none;
+  }
+  if ( name == "sampled" )
+  {
+    return verify_mode::sampled;
+  }
+  if ( name == "exhaustive" )
+  {
+    return verify_mode::exhaustive;
+  }
+  if ( name == "sat" )
+  {
+    return verify_mode::sat;
+  }
+  return std::nullopt;
+}
+
 namespace
 {
 
@@ -230,17 +267,36 @@ flow_result run_flow_staged( const aig_network& aig, const flow_params& params,
   // runtime column.
   result.runtime_seconds = watch.elapsed_seconds();
 
-  if ( params.verify )
+  const auto mode = params.verify ? params.verification : verify_mode::none;
+  if ( mode != verify_mode::none )
   {
     stopwatch verify_watch;
-    if ( verify_outputs )
+    result.verified_with = mode;
+    switch ( mode )
     {
-      result.verified = verify_against_truth_tables( result.circuit, *verify_outputs );
-    }
-    else
-    {
-      const auto cex = verify_against_aig_sampled( result.circuit, optimized );
-      result.verified = !cex.has_value();
+    case verify_mode::none:
+      break;
+    case verify_mode::sampled:
+    case verify_mode::exhaustive:
+      if ( verify_outputs )
+      {
+        // The functional flow checks against its collapsed truth tables —
+        // block-driven full enumeration, so sampled == exhaustive here.
+        result.verified = verify_against_truth_tables( result.circuit, *verify_outputs );
+      }
+      else
+      {
+        result.counterexample =
+            mode == verify_mode::sampled
+                ? verify_against_aig_sampled( result.circuit, optimized )
+                : verify_against_aig_exhaustive( result.circuit, optimized );
+        result.verified = !result.counterexample.has_value();
+      }
+      break;
+    case verify_mode::sat:
+      result.counterexample = verify_against_aig_sat( result.circuit, optimized );
+      result.verified = !result.counterexample.has_value();
+      break;
     }
     result.verify_seconds = verify_watch.elapsed_seconds();
   }

@@ -23,10 +23,15 @@
 /// per-configuration synthesis tails repeat.  `run_flow_on_aig` remains
 /// the one-shot convenience wrapper around a private cache.
 ///
+/// Every flow closes with a verification tier selected by
+/// `flow_params::verification` (`verify_mode`): 64-way batched random
+/// sampling, 64-way exhaustive enumeration, or a SAT miter through
+/// `src/sat/` — the ladder mirrors the paper's closing ABC `cec` call.
 /// The flow result carries the reversible circuit, the cost report, the
 /// synthesis runtime (verification is timed separately in
-/// `verify_seconds`), and intermediate statistics — everything the paper's
-/// tables report, so the bench binaries are thin wrappers around run_flow().
+/// `verify_seconds`, with the tier recorded in `verified_with`), and
+/// intermediate statistics — everything the paper's tables report, so the
+/// bench binaries are thin wrappers around run_flow().
 
 #pragma once
 
@@ -66,6 +71,23 @@ enum class flow_kind
   hierarchical  ///< Sec. IV-C: LUT map + XMG + hierarchical synthesis
 };
 
+/// Verification tier applied to the synthesized circuit (our `cec` ladder).
+enum class verify_mode
+{
+  none,       ///< skip verification entirely
+  sampled,    ///< 64-way batched random simulation (probabilistic; silently
+              ///< exhaustive when 2^inputs fits the sample budget)
+  exhaustive, ///< 64-way batched enumeration of all 2^inputs assignments
+              ///< (a proof; inputs <= 24)
+  sat         ///< SAT miter against the extracted circuit AIG (a proof at
+              ///< any width; src/sat/)
+};
+
+/// Short name of a tier ("none", "sampled", "exhaustive", "sat").
+std::string verify_mode_name( verify_mode mode );
+/// Inverse of `verify_mode_name`; nullopt for unknown names.
+std::optional<verify_mode> verify_mode_from_name( const std::string& name );
+
 struct flow_params
 {
   flow_kind kind = flow_kind::hierarchical;
@@ -74,7 +96,8 @@ struct flow_params
   unsigned esop_p = 0;              ///< ESOP flow: REVS factoring parameter
   cleanup_strategy cleanup = cleanup_strategy::keep_garbage; ///< hierarchical
   bool bidirectional_tbs = true;    ///< functional flow
-  bool verify = true;               ///< check result against the AIG
+  bool verify = true;               ///< master toggle (false == verify_mode::none)
+  verify_mode verification = verify_mode::sampled; ///< tier used when verify is on
 };
 
 struct flow_result
@@ -84,8 +107,13 @@ struct flow_result
   double runtime_seconds = 0.0; ///< synthesis only; prefetched cache hits
                                 ///< cost ~0 (a hit racing the computing
                                 ///< thread blocks, and that wait counts)
-  double verify_seconds = 0.0;  ///< verification simulation time (0 if off)
+  double verify_seconds = 0.0;  ///< verification time of the tier that ran
+                                ///< (0 if verification is off)
   bool verified = false;
+  verify_mode verified_with = verify_mode::none; ///< tier that produced `verified`
+  /// Failing input assignment when a tier rejects (AIG-miter tiers only;
+  /// the functional flow's truth-table check has no counterexample).
+  std::optional<std::vector<bool>> counterexample;
 
   /// Intermediate statistics.
   std::size_t aig_nodes_initial = 0;

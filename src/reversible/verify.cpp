@@ -1,10 +1,56 @@
 #include "verify.hpp"
 
+#include <algorithm>
 #include <random>
 #include <stdexcept>
 
+#include "../common/bits.hpp"
+#include "../sat/cnf.hpp"
+
 namespace qsyn
 {
+
+namespace
+{
+
+constexpr std::uint64_t all_ones = ~std::uint64_t{ 0 };
+
+/// Fills one packed word per input for the 64 assignments
+/// x = blk * 64 + j (j = bit position): the low six variables cycle through
+/// the canonical projection patterns, the higher ones broadcast the
+/// corresponding bit of the block index.
+void fill_counter_block( unsigned num_inputs, std::uint64_t blk,
+                         std::vector<std::uint64_t>& words )
+{
+  for ( unsigned i = 0; i < num_inputs; ++i )
+  {
+    words[i] = i < 6u ? projections[i] : ( ( blk >> ( i - 6u ) ) & 1u ) ? all_ones : 0u;
+  }
+}
+
+/// Unpacks assignment lane `j` of a packed input batch.
+std::vector<bool> unpack_lane( const std::vector<std::uint64_t>& words, unsigned j )
+{
+  std::vector<bool> assignment( words.size() );
+  for ( std::size_t i = 0; i < words.size(); ++i )
+  {
+    assignment[i] = ( words[i] >> j ) & 1u;
+  }
+  return assignment;
+}
+
+/// OR of the per-output differences between two packed result vectors.
+std::uint64_t diff_word( const std::vector<std::uint64_t>& a, const std::vector<std::uint64_t>& b )
+{
+  std::uint64_t diff = 0;
+  for ( std::size_t o = 0; o < a.size(); ++o )
+  {
+    diff |= a[o] ^ b[o];
+  }
+  return diff;
+}
+
+} // namespace
 
 std::vector<std::uint32_t> input_lines_of( const reversible_circuit& circuit )
 {
@@ -68,30 +114,92 @@ std::vector<bool> evaluate_circuit( const reversible_circuit& circuit,
   return outputs;
 }
 
+// --- 64-way block simulation -------------------------------------------------
+
+block_simulator::block_simulator( const reversible_circuit& circuit )
+    : circuit_( circuit ), in_lines_( input_lines_of( circuit ) ),
+      out_lines_( output_lines_of( circuit ) ), init_state_( circuit.num_lines(), 0u ),
+      state_( circuit.num_lines() ), outputs_( out_lines_.size() )
+{
+  for ( unsigned l = 0; l < circuit.num_lines(); ++l )
+  {
+    if ( circuit.line( l ).is_constant_input && circuit.line( l ).constant_value )
+    {
+      init_state_[l] = all_ones;
+    }
+  }
+}
+
+const std::vector<std::uint64_t>&
+block_simulator::evaluate( const std::vector<std::uint64_t>& input_words )
+{
+  if ( input_words.size() != in_lines_.size() )
+  {
+    throw std::invalid_argument( "block_simulator::evaluate: input arity mismatch" );
+  }
+  state_ = init_state_;
+  for ( std::size_t i = 0; i < in_lines_.size(); ++i )
+  {
+    state_[in_lines_[i]] = input_words[i];
+  }
+  for ( const auto& g : circuit_.gates() )
+  {
+    // All 64 assignments at once: the control conjunction is a word AND
+    // (complemented for negative controls), the target flip a word XOR.
+    std::uint64_t fire = all_ones;
+    for ( const auto& c : g.controls )
+    {
+      fire &= c.positive ? state_[c.line] : ~state_[c.line];
+    }
+    state_[g.target] ^= fire;
+  }
+  for ( std::size_t o = 0; o < out_lines_.size(); ++o )
+  {
+    outputs_[o] = state_[out_lines_[o]];
+  }
+  return outputs_;
+}
+
+std::vector<std::uint64_t> evaluate_circuit_block( const reversible_circuit& circuit,
+                                                   const std::vector<std::uint64_t>& input_words )
+{
+  block_simulator sim( circuit );
+  return sim.evaluate( input_words );
+}
+
+// --- exhaustive tiers --------------------------------------------------------
+
 bool verify_against_truth_tables( const reversible_circuit& circuit,
                                   const std::vector<truth_table>& outputs )
 {
-  const auto in_lines = input_lines_of( circuit );
-  const auto num_inputs = static_cast<unsigned>( in_lines.size() );
-  if ( num_inputs > 16u )
+  block_simulator sim( circuit );
+  const auto num_inputs = static_cast<unsigned>( sim.input_lines().size() );
+  if ( num_inputs > 24u )
   {
     throw std::invalid_argument( "verify_against_truth_tables: too many inputs" );
   }
-  for ( std::uint64_t x = 0; x < ( std::uint64_t{ 1 } << num_inputs ); ++x )
+  if ( sim.output_lines().size() != outputs.size() )
   {
-    std::vector<bool> inputs( num_inputs );
-    for ( unsigned i = 0; i < num_inputs; ++i )
-    {
-      inputs[i] = ( x >> i ) & 1u;
-    }
-    const auto result = evaluate_circuit( circuit, inputs );
-    if ( result.size() != outputs.size() )
+    return false;
+  }
+  for ( const auto& tt : outputs )
+  {
+    if ( tt.num_vars() != num_inputs )
     {
       return false;
     }
+  }
+  const auto mask = block_mask( num_inputs );
+  std::vector<std::uint64_t> words( num_inputs );
+  for ( std::uint64_t blk = 0; blk < num_blocks_for( num_inputs ); ++blk )
+  {
+    fill_counter_block( num_inputs, blk, words );
+    const auto& result = sim.evaluate( words );
     for ( std::size_t o = 0; o < outputs.size(); ++o )
     {
-      if ( result[o] != outputs[o].get_bit( x ) )
+      // The counter-order batch of block blk is exactly block blk of the
+      // truth table (bit i of index x = value of variable i).
+      if ( ( result[o] ^ outputs[o].blocks()[blk] ) & mask )
       {
         return false;
       }
@@ -100,65 +208,161 @@ bool verify_against_truth_tables( const reversible_circuit& circuit,
   return true;
 }
 
+std::optional<std::vector<bool>> verify_against_aig_exhaustive( const reversible_circuit& circuit,
+                                                                const aig_network& aig )
+{
+  block_simulator sim( circuit );
+  const auto num_pis = aig.num_pis();
+  if ( sim.input_lines().size() != num_pis || sim.output_lines().size() != aig.num_pos() )
+  {
+    throw std::invalid_argument( "verify_against_aig_exhaustive: interface mismatch" );
+  }
+  if ( num_pis > 24u )
+  {
+    throw std::invalid_argument( "verify_against_aig_exhaustive: too many inputs" );
+  }
+  const auto mask = block_mask( num_pis );
+  std::vector<std::uint64_t> words( num_pis );
+  for ( std::uint64_t blk = 0; blk < num_blocks_for( num_pis ); ++blk )
+  {
+    fill_counter_block( num_pis, blk, words );
+    const auto expected = aig.simulate_patterns( words );
+    const auto& actual = sim.evaluate( words );
+    if ( const auto diff = diff_word( expected, actual ) & mask )
+    {
+      // Lowest failing lane of the lowest failing block == first failing
+      // assignment in counter order, matching the scalar enumeration the
+      // block engine replaced.
+      return unpack_lane( words, static_cast<unsigned>( lsb_index( diff ) ) );
+    }
+  }
+  return std::nullopt;
+}
+
 std::optional<std::vector<bool>> verify_against_aig_sampled( const reversible_circuit& circuit,
                                                              const aig_network& aig,
                                                              unsigned num_samples,
                                                              std::uint64_t seed )
 {
-  const auto in_lines = input_lines_of( circuit );
-  if ( in_lines.size() != aig.num_pis() )
-  {
-    throw std::invalid_argument( "verify_against_aig_sampled: input arity mismatch" );
-  }
+  const auto num_pis = aig.num_pis();
   // When the whole input space is no larger than the sample budget,
   // enumerate it exhaustively: random sampling would draw duplicate
   // vectors and could certify a tiny design without ever covering it.
-  const auto num_pis = aig.num_pis();
-  if ( num_pis < 64u && ( std::uint64_t{ 1 } << num_pis ) <= num_samples )
+  if ( num_pis <= 24u && ( std::uint64_t{ 1 } << num_pis ) <= num_samples )
   {
-    for ( std::uint64_t x = 0; x < ( std::uint64_t{ 1 } << num_pis ); ++x )
-    {
-      std::vector<bool> inputs( num_pis );
-      for ( unsigned i = 0; i < num_pis; ++i )
-      {
-        inputs[i] = ( x >> i ) & 1u;
-      }
-      const auto expected = aig.evaluate( inputs );
-      const auto actual = evaluate_circuit( circuit, inputs );
-      if ( expected != actual )
-      {
-        return inputs;
-      }
-    }
-    return std::nullopt;
+    return verify_against_aig_exhaustive( circuit, aig );
+  }
+  block_simulator sim( circuit );
+  if ( sim.input_lines().size() != num_pis || sim.output_lines().size() != aig.num_pos() )
+  {
+    throw std::invalid_argument( "verify_against_aig_sampled: interface mismatch" );
   }
   std::mt19937_64 rng( seed );
-  for ( unsigned s = 0; s < num_samples + 2u; ++s )
+  const std::uint64_t total = std::uint64_t{ num_samples } + 2u;
+  std::vector<std::uint64_t> words( num_pis );
+  for ( std::uint64_t base = 0; base < total; base += 64u )
   {
-    std::vector<bool> inputs( aig.num_pis() );
-    if ( s == 0 )
+    // One rng word per input = 64 independent random assignments.  The
+    // first batch pins lane 0 to all-zero and lane 1 to all-one.
+    for ( auto& w : words )
     {
-      // all zero
-    }
-    else if ( s == 1 )
-    {
-      inputs.assign( aig.num_pis(), true );
-    }
-    else
-    {
-      for ( std::size_t i = 0; i < inputs.size(); ++i )
+      w = rng();
+      if ( base == 0 )
       {
-        inputs[i] = rng() & 1u;
+        w = ( w & ~std::uint64_t{ 3 } ) | 2u;
       }
     }
-    const auto expected = aig.evaluate( inputs );
-    const auto actual = evaluate_circuit( circuit, inputs );
-    if ( expected != actual )
+    const auto lanes = std::min<std::uint64_t>( 64u, total - base );
+    const auto mask = lanes == 64u ? all_ones : ( std::uint64_t{ 1 } << lanes ) - 1u;
+    const auto expected = aig.simulate_patterns( words );
+    const auto& actual = sim.evaluate( words );
+    if ( const auto diff = diff_word( expected, actual ) & mask )
     {
-      return inputs;
+      return unpack_lane( words, static_cast<unsigned>( lsb_index( diff ) ) );
     }
   }
   return std::nullopt;
+}
+
+// --- SAT tier ----------------------------------------------------------------
+
+aig_network circuit_to_aig( const reversible_circuit& circuit )
+{
+  const auto in_lines = input_lines_of( circuit );
+  const auto out_lines = output_lines_of( circuit );
+  aig_network aig( static_cast<unsigned>( in_lines.size() ) );
+  // Symbolic line state: a literal per line, updated gate by gate.
+  std::vector<aig_lit> state( circuit.num_lines(), aig_network::const0 );
+  for ( unsigned l = 0; l < circuit.num_lines(); ++l )
+  {
+    if ( circuit.line( l ).is_constant_input )
+    {
+      state[l] = aig_network::get_constant( circuit.line( l ).constant_value );
+    }
+  }
+  for ( std::size_t i = 0; i < in_lines.size(); ++i )
+  {
+    state[in_lines[i]] = aig.pi( static_cast<unsigned>( i ) );
+  }
+  for ( const auto& g : circuit.gates() )
+  {
+    std::vector<aig_lit> controls;
+    controls.reserve( g.controls.size() );
+    for ( const auto& c : g.controls )
+    {
+      controls.push_back( lit_not_cond( state[c.line], !c.positive ) );
+    }
+    const auto fire = aig.create_nary_and( std::move( controls ) );
+    state[g.target] = aig.create_xor( state[g.target], fire );
+  }
+  for ( const auto line : out_lines )
+  {
+    aig.add_po( state[line] );
+  }
+  return aig;
+}
+
+std::optional<std::vector<bool>> verify_against_aig_sat( const reversible_circuit& circuit,
+                                                         const aig_network& aig )
+{
+  const auto impl = circuit_to_aig( circuit );
+  if ( impl.num_pis() != aig.num_pis() || impl.num_pos() != aig.num_pos() )
+  {
+    throw std::invalid_argument( "verify_against_aig_sat: interface mismatch" );
+  }
+  const auto result = sat::check_equivalence( aig, impl );
+  if ( result.equivalent )
+  {
+    return std::nullopt;
+  }
+  return result.counterexample;
+}
+
+reversible_circuit corrupt_circuit( const reversible_circuit& circuit, const aig_network& spec )
+{
+  auto corrupted = circuit;
+  for ( std::size_t g = corrupted.num_gates(); g-- > 0; )
+  {
+    auto& gate = corrupted.gates()[g];
+    const auto original = gate.target;
+    for ( std::uint32_t t = 0; t < corrupted.num_lines(); ++t )
+    {
+      const auto on_control =
+          std::any_of( gate.controls.begin(), gate.controls.end(),
+                       [t]( const control& c ) { return c.line == t; } );
+      if ( t == original || on_control )
+      {
+        continue;
+      }
+      gate.target = t;
+      if ( verify_against_aig_exhaustive( corrupted, spec ).has_value() )
+      {
+        return corrupted;
+      }
+      gate.target = original;
+    }
+  }
+  throw std::logic_error( "corrupt_circuit: no single retarget changes the function" );
 }
 
 bool verify_permutation( const reversible_circuit& circuit,

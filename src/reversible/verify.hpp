@@ -2,10 +2,25 @@
 /// \brief Verification of synthesized reversible circuits against their
 /// irreversible specification (our analogue of the paper's use of ABC `cec`).
 ///
+/// Three tiers are provided, trading confidence against cost:
+///   * **sampled** — 64 random input assignments per simulated word
+///     (probabilistic; silently exhaustive when 2^inputs fits the budget),
+///   * **exhaustive** — all 2^inputs assignments, 64 per word (a proof for
+///     bounded input counts),
+///   * **SAT** — the circuit's function is extracted into an AIG and a
+///     miter against the specification is solved (`qsyn::sat`); a proof at
+///     any width.
+/// The simulation tiers share one engine: `evaluate_circuit_block` packs 64
+/// input assignments into one `std::uint64_t` word per circuit line and
+/// sweeps every gate over whole words — the Toffoli control conjunction is
+/// a word AND, the target update a word XOR — so one pass over the gate
+/// list settles 64 assignments at once.
+///
 /// Conventions: input variable i lives on the i-th line flagged
 /// `is_primary_input` (in line order); constant ancillae carry
 /// `is_constant_input` / `constant_value`; output j is read from the line
-/// with `output_index == j`.
+/// with `output_index == j`.  Bit j of a packed word is assignment j of the
+/// batch.
 
 #pragma once
 
@@ -26,28 +41,91 @@ std::vector<std::uint32_t> input_lines_of( const reversible_circuit& circuit );
 std::vector<std::uint32_t> output_lines_of( const reversible_circuit& circuit );
 
 /// Simulates the circuit on one input assignment (constants filled in) and
-/// returns the output values.
+/// returns the output values.  This is the scalar reference evaluator; the
+/// verifiers below run on the 64-way block engine and are cross-checked
+/// against this one in tests/test_verify.cpp.
 std::vector<bool> evaluate_circuit( const reversible_circuit& circuit,
                                     const std::vector<bool>& inputs );
 
-/// Exhaustively checks the circuit against output truth tables
-/// (2^inputs simulations; practical for <= ~16 inputs).
+/// Reusable 64-way bit-parallel simulator.  Line roles are resolved once at
+/// construction; every `evaluate` call then runs allocation-free over an
+/// internal state buffer.  The referenced circuit must outlive the
+/// simulator.
+class block_simulator
+{
+public:
+  explicit block_simulator( const reversible_circuit& circuit );
+
+  /// Simulates 64 packed input assignments.  `input_words[i]` carries input
+  /// variable i: bit j is its value in assignment j.  Returns one word per
+  /// output (same packing); the reference stays valid until the next call.
+  const std::vector<std::uint64_t>& evaluate( const std::vector<std::uint64_t>& input_words );
+
+  const std::vector<std::uint32_t>& input_lines() const { return in_lines_; }
+  const std::vector<std::uint32_t>& output_lines() const { return out_lines_; }
+
+private:
+  const reversible_circuit& circuit_;
+  std::vector<std::uint32_t> in_lines_;
+  std::vector<std::uint32_t> out_lines_;
+  std::vector<std::uint64_t> init_state_; ///< constants broadcast to words
+  std::vector<std::uint64_t> state_;
+  std::vector<std::uint64_t> outputs_;
+};
+
+/// One-shot convenience wrapper around `block_simulator`: simulates 64
+/// packed input assignments and returns one word per output.
+std::vector<std::uint64_t> evaluate_circuit_block( const reversible_circuit& circuit,
+                                                   const std::vector<std::uint64_t>& input_words );
+
+/// Exhaustively checks the circuit against output truth tables, 64
+/// assignments per simulated word (2^inputs/64 sweeps; inputs <= 24).
 bool verify_against_truth_tables( const reversible_circuit& circuit,
                                   const std::vector<truth_table>& outputs );
 
+/// Exhaustively checks the circuit against an AIG over all 2^inputs
+/// assignments (inputs <= 24), 64 per simulated word, in counter order.
+/// Returns the first failing input assignment if any — a proof of
+/// equivalence when it returns nullopt.
+std::optional<std::vector<bool>> verify_against_aig_exhaustive( const reversible_circuit& circuit,
+                                                                const aig_network& aig );
+
 /// Checks the circuit against an AIG on `num_samples` random input
-/// assignments (plus the all-zero and all-one patterns).  When
-/// 2^num_pis <= num_samples the check is exhaustive instead — same budget,
-/// full coverage, and a real proof for small designs.  Returns the first
-/// failing input if any.
+/// assignments (plus the all-zero and all-one patterns), 64 per simulated
+/// word.  When 2^num_pis <= num_samples the check delegates to
+/// `verify_against_aig_exhaustive` — same budget, full coverage, and a
+/// real proof for small designs.  Returns the first failing input if any.
 std::optional<std::vector<bool>> verify_against_aig_sampled( const reversible_circuit& circuit,
                                                              const aig_network& aig,
                                                              unsigned num_samples = 256,
                                                              std::uint64_t seed = 1 );
 
+/// Extracts the function computed by the circuit as an AIG: one PI per
+/// primary-input line (in input order), one PO per output index.  Constant
+/// ancillae become AIG constants; each Toffoli gate contributes the AND of
+/// its (polarity-adjusted) control literals XORed onto its target.
+aig_network circuit_to_aig( const reversible_circuit& circuit );
+
+/// Proves or refutes circuit-vs-AIG equivalence with a SAT miter
+/// (`qsyn::sat::check_equivalence` on the extracted circuit AIG).  Returns
+/// the first counterexample found by the solver, or nullopt on a proof.
+/// Width-independent, unlike the exhaustive tier.
+std::optional<std::vector<bool>> verify_against_aig_sat( const reversible_circuit& circuit,
+                                                         const aig_network& aig );
+
 /// Checks that the circuit realizes exactly the given permutation over all
 /// its lines (num_lines() <= 20).
 bool verify_permutation( const reversible_circuit& circuit,
                          const std::vector<std::uint64_t>& expected );
+
+/// Returns a copy of the circuit with one gate retargeted such that the
+/// realized function provably differs from `spec` (confirmed by exhaustive
+/// enumeration; gates are scanned from the back, a retarget onto a control
+/// line is never attempted).  The negative-path fixture shared by the
+/// verification tests and `bench_verify` — a "flip one gate target"
+/// corruption can be semantically benign when both targets are garbage, so
+/// every candidate is checked before it is returned.  Throws if no single
+/// retarget changes the function.
+reversible_circuit corrupt_circuit( const reversible_circuit& circuit, const aig_network& spec );
 
 } // namespace qsyn

@@ -1,7 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <optional>
+#include <vector>
+
 #include "core/dse.hpp"
 #include "core/flows.hpp"
+#include "reversible/verify.hpp"
+#include "synth/aig_optimize.hpp"
 #include "verilog/elaborator.hpp"
 
 using namespace qsyn;
@@ -166,6 +172,107 @@ TEST( dse, table_formatting )
   const auto table = format_dse_table( points );
   EXPECT_NE( table.find( "esop(p=0)" ), std::string::npos );
   EXPECT_NE( table.find( "qubits" ), std::string::npos );
+}
+
+TEST( flows, verification_tiers_agree_on_accept_for_every_flow )
+{
+  // Each tier is a different engine (64-way simulation on truth
+  // tables/samples, 64-way counter enumeration, SAT miter); a correct
+  // synthesis result must pass all of them, with verified_with recording
+  // the tier that ran.
+  for ( const auto kind : { flow_kind::functional, flow_kind::esop_based,
+                            flow_kind::hierarchical } )
+  {
+    for ( const auto mode :
+          { verify_mode::sampled, verify_mode::exhaustive, verify_mode::sat } )
+    {
+      flow_params params;
+      params.kind = kind;
+      params.verification = mode;
+      const auto result = run_reciprocal_flow( reciprocal_design::intdiv, 4, params );
+      EXPECT_TRUE( result.verified )
+          << "kind=" << static_cast<int>( kind ) << " mode=" << verify_mode_name( mode );
+      EXPECT_EQ( result.verified_with, mode );
+      EXPECT_FALSE( result.counterexample.has_value() );
+    }
+  }
+}
+
+TEST( flows, verify_mode_none_and_legacy_toggle_skip_verification )
+{
+  flow_params params;
+  params.kind = flow_kind::esop_based;
+  params.verification = verify_mode::none;
+  const auto none = run_reciprocal_flow( reciprocal_design::intdiv, 4, params );
+  EXPECT_FALSE( none.verified );
+  EXPECT_EQ( none.verified_with, verify_mode::none );
+  EXPECT_EQ( none.verify_seconds, 0.0 );
+
+  params.verification = verify_mode::sat;
+  params.verify = false; // the legacy master toggle wins
+  const auto off = run_reciprocal_flow( reciprocal_design::intdiv, 4, params );
+  EXPECT_FALSE( off.verified );
+  EXPECT_EQ( off.verified_with, verify_mode::none );
+}
+
+TEST( flows, corrupted_circuit_is_rejected_by_every_tier_with_a_valid_counterexample )
+{
+  const auto mod =
+      verilog::elaborate_verilog( reciprocal_verilog( reciprocal_design::intdiv, 4 ) );
+  for ( const auto kind : { flow_kind::functional, flow_kind::esop_based,
+                            flow_kind::hierarchical } )
+  {
+    flow_params params;
+    params.kind = kind;
+    params.verify = false;
+    const auto result = run_flow_on_aig( mod.aig, params );
+    const auto spec = optimize( mod.aig, params.optimization_rounds );
+
+    const auto corrupted = corrupt_circuit( result.circuit, spec );
+
+    const auto check_cex = [&]( const std::optional<std::vector<bool>>& cex,
+                                const char* tier ) {
+      ASSERT_TRUE( cex.has_value() ) << tier << " kind=" << static_cast<int>( kind );
+      EXPECT_NE( evaluate_circuit( corrupted, *cex ), spec.evaluate( *cex ) )
+          << tier << " kind=" << static_cast<int>( kind );
+    };
+    check_cex( verify_against_aig_sampled( corrupted, spec ), "sampled" );
+    check_cex( verify_against_aig_exhaustive( corrupted, spec ), "exhaustive" );
+    check_cex( verify_against_aig_sat( corrupted, spec ), "sat" );
+  }
+}
+
+TEST( dse, explore_designs_threads_the_verification_mode )
+{
+  explore_options options;
+  options.functional_max_bitwidth = 0; // keep the sweep small
+  options.verification = verify_mode::sat;
+  const auto explorations =
+      explore_designs( { reciprocal_design::intdiv }, 4, 4, options );
+  ASSERT_EQ( explorations.size(), 1u );
+  for ( const auto& p : explorations[0].points )
+  {
+    EXPECT_TRUE( p.result.verified ) << p.label;
+    EXPECT_EQ( p.result.verified_with, verify_mode::sat ) << p.label;
+  }
+
+  options.verification = verify_mode::none;
+  const auto unverified = explore_designs( { reciprocal_design::intdiv }, 4, 4, options );
+  for ( const auto& p : unverified[0].points )
+  {
+    EXPECT_EQ( p.result.verified_with, verify_mode::none ) << p.label;
+    EXPECT_EQ( p.result.verify_seconds, 0.0 ) << p.label;
+  }
+}
+
+TEST( flows, verify_mode_names_round_trip )
+{
+  for ( const auto mode : { verify_mode::none, verify_mode::sampled, verify_mode::exhaustive,
+                            verify_mode::sat } )
+  {
+    EXPECT_EQ( verify_mode_from_name( verify_mode_name( mode ) ), mode );
+  }
+  EXPECT_FALSE( verify_mode_from_name( "bogus" ).has_value() );
 }
 
 TEST( flows, tbs_unidirectional_option )

@@ -224,6 +224,103 @@ TEST( cec, multi_output_differs_in_one )
   EXPECT_FALSE( check_equivalence( a, b ).equivalent );
 }
 
+TEST( cec, counterexample_round_trips_through_both_aigs )
+{
+  // Randomized guard against polarity/index bugs in encode_aig: build
+  // random AIG pairs, brute-force their true equivalence over all inputs,
+  // and when the solver reports a counterexample, feed it back through BOTH
+  // networks and require the outputs to actually differ.
+  std::mt19937_64 rng( 321 );
+  for ( int instance = 0; instance < 40; ++instance )
+  {
+    const unsigned num_pis = 3u + rng() % 3u;
+    const unsigned num_pos = 1u + rng() % 3u;
+    const auto random_aig = [&]( std::uint64_t seed ) {
+      std::mt19937_64 gen( seed );
+      aig_network aig( num_pis );
+      std::vector<aig_lit> pool;
+      for ( unsigned i = 0; i < num_pis; ++i )
+      {
+        pool.push_back( aig.pi( i ) );
+      }
+      for ( int k = 0; k < 12; ++k )
+      {
+        const auto a = pool[gen() % pool.size()] ^ ( gen() & 1u );
+        const auto b = pool[gen() % pool.size()] ^ ( gen() & 1u );
+        pool.push_back( gen() & 1u ? aig.create_xor( a, b ) : aig.create_and( a, b ) );
+      }
+      for ( unsigned o = 0; o < num_pos; ++o )
+      {
+        aig.add_po( pool[gen() % pool.size()] ^ ( gen() & 1u ) );
+      }
+      return aig;
+    };
+    const auto a = random_aig( rng() );
+    // Half the instances compare an AIG against an independently built one,
+    // half against a PO-perturbed copy of itself (near-equivalent pairs are
+    // the polarity-sensitive case).
+    auto b = ( instance & 1 ) ? random_aig( rng() ) : a;
+    if ( !( instance & 1 ) && ( rng() & 1u ) )
+    {
+      b.set_po( static_cast<unsigned>( rng() % num_pos ), b.po( 0 ) ^ 1u );
+    }
+
+    bool brute_equivalent = true;
+    std::vector<bool> inputs( num_pis );
+    for ( std::uint32_t x = 0; x < ( 1u << num_pis ) && brute_equivalent; ++x )
+    {
+      for ( unsigned i = 0; i < num_pis; ++i )
+      {
+        inputs[i] = ( x >> i ) & 1u;
+      }
+      brute_equivalent = a.evaluate( inputs ) == b.evaluate( inputs );
+    }
+
+    const auto result = check_equivalence( a, b );
+    EXPECT_EQ( result.equivalent, brute_equivalent ) << "instance " << instance;
+    if ( !result.equivalent )
+    {
+      ASSERT_TRUE( result.counterexample.has_value() ) << "instance " << instance;
+      const auto va = a.evaluate( *result.counterexample );
+      const auto vb = b.evaluate( *result.counterexample );
+      EXPECT_NE( va, vb ) << "instance " << instance;
+    }
+  }
+}
+
+TEST( cec, complemented_po_of_identical_structure_is_caught )
+{
+  // The pure polarity bug: identical AND structure, one complemented PO.
+  // The miter must find a counterexample and it must round-trip.
+  aig_network a( 2 );
+  a.add_po( a.create_and( a.pi( 0 ), a.pi( 1 ) ) );
+  aig_network b( 2 );
+  b.add_po( lit_not( b.create_and( b.pi( 0 ), b.pi( 1 ) ) ) );
+  const auto result = check_equivalence( a, b );
+  ASSERT_FALSE( result.equivalent );
+  ASSERT_TRUE( result.counterexample.has_value() );
+  EXPECT_NE( a.evaluate( *result.counterexample ), b.evaluate( *result.counterexample ) );
+}
+
+TEST( cec, constant_output_pair )
+{
+  // Constant-false vs constant-true POs exercise the encoded constant node.
+  aig_network a( 1 );
+  a.add_po( aig_network::const0 );
+  aig_network b( 1 );
+  b.add_po( aig_network::const1 );
+  const auto result = check_equivalence( a, b );
+  ASSERT_FALSE( result.equivalent );
+  ASSERT_TRUE( result.counterexample.has_value() );
+  EXPECT_NE( a.evaluate( *result.counterexample ), b.evaluate( *result.counterexample ) );
+
+  aig_network c( 1 );
+  c.add_po( aig_network::const0 );
+  aig_network d( 1 );
+  d.add_po( d.create_and( d.pi( 0 ), lit_not( d.pi( 0 ) ) ) );
+  EXPECT_TRUE( check_equivalence( c, d ).equivalent );
+}
+
 TEST( cec, interface_mismatch_throws )
 {
   aig_network a( 2 );

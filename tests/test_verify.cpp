@@ -1,0 +1,415 @@
+/// Word-level (64-way bit-parallel) verification engine vs. the scalar
+/// `evaluate_circuit` oracle, plus the exhaustive / sampled / SAT tiers
+/// built on top of it.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <random>
+#include <stdexcept>
+#include <vector>
+
+#include "common/bits.hpp"
+#include "logic/aig.hpp"
+#include "reversible/circuit.hpp"
+#include "reversible/verify.hpp"
+
+using namespace qsyn;
+
+namespace
+{
+
+/// Deterministic random Toffoli/CNOT/NOT network over `num_lines` lines with
+/// random primary-input / constant-ancilla roles and random output placement.
+reversible_circuit random_circuit( std::mt19937_64& rng, unsigned num_lines, unsigned num_gates,
+                                   unsigned num_inputs )
+{
+  reversible_circuit circuit( num_lines );
+  // Roles: the first num_inputs lines carry inputs (shuffling the carrier
+  // lines would not change coverage — input i is "the i-th input line in
+  // line order" either way), the rest are constant ancillae with random
+  // initial values.
+  for ( unsigned l = 0; l < num_lines; ++l )
+  {
+    auto& info = circuit.line( l );
+    if ( l < num_inputs )
+    {
+      info.is_primary_input = true;
+    }
+    else
+    {
+      info.is_constant_input = true;
+      info.constant_value = rng() & 1u;
+    }
+  }
+  // Outputs: a random nonempty subset of lines, indexed in line order.
+  int next_output = 0;
+  for ( unsigned l = 0; l < num_lines; ++l )
+  {
+    if ( ( rng() & 3u ) == 0u || ( l + 1u == num_lines && next_output == 0 ) )
+    {
+      circuit.line( l ).output_index = next_output++;
+      circuit.line( l ).is_garbage = false;
+    }
+  }
+  for ( unsigned g = 0; g < num_gates; ++g )
+  {
+    const auto target = static_cast<std::uint32_t>( rng() % num_lines );
+    std::vector<control> controls;
+    for ( std::uint32_t l = 0; l < num_lines; ++l )
+    {
+      if ( l != target && ( rng() & 3u ) == 0u )
+      {
+        controls.push_back( { l, static_cast<bool>( rng() & 1u ) } );
+      }
+    }
+    circuit.add_mct( controls, target );
+  }
+  return circuit;
+}
+
+std::vector<bool> random_assignment( std::mt19937_64& rng, unsigned num_inputs )
+{
+  std::vector<bool> assignment( num_inputs );
+  for ( unsigned i = 0; i < num_inputs; ++i )
+  {
+    assignment[i] = rng() & 1u;
+  }
+  return assignment;
+}
+
+/// Packs `assignments[j]` into bit j of one word per input variable.
+std::vector<std::uint64_t> pack( const std::vector<std::vector<bool>>& assignments,
+                                 unsigned num_inputs )
+{
+  std::vector<std::uint64_t> words( num_inputs, 0u );
+  for ( std::size_t j = 0; j < assignments.size(); ++j )
+  {
+    for ( unsigned i = 0; i < num_inputs; ++i )
+    {
+      if ( assignments[j][i] )
+      {
+        words[i] |= std::uint64_t{ 1 } << j;
+      }
+    }
+  }
+  return words;
+}
+
+std::vector<bool> counter_assignment( std::uint64_t x, unsigned num_inputs )
+{
+  std::vector<bool> assignment( num_inputs );
+  for ( unsigned i = 0; i < num_inputs; ++i )
+  {
+    assignment[i] = ( x >> i ) & 1u;
+  }
+  return assignment;
+}
+
+} // namespace
+
+// --- block evaluator vs. scalar oracle ---------------------------------------
+
+TEST( verify_block, matches_scalar_on_random_circuits )
+{
+  std::mt19937_64 rng( 11 );
+  for ( int instance = 0; instance < 40; ++instance )
+  {
+    const unsigned num_lines = 2u + rng() % 9u;
+    const unsigned num_inputs = 1u + rng() % num_lines;
+    const auto circuit = random_circuit( rng, num_lines, 1u + rng() % 40u, num_inputs );
+
+    std::vector<std::vector<bool>> batch;
+    for ( unsigned j = 0; j < 64u; ++j )
+    {
+      batch.push_back( random_assignment( rng, num_inputs ) );
+    }
+    const auto words = evaluate_circuit_block( circuit, pack( batch, num_inputs ) );
+    for ( unsigned j = 0; j < 64u; ++j )
+    {
+      const auto expected = evaluate_circuit( circuit, batch[j] );
+      ASSERT_EQ( words.size(), expected.size() );
+      for ( std::size_t o = 0; o < expected.size(); ++o )
+      {
+        EXPECT_EQ( ( words[o] >> j ) & 1u, static_cast<std::uint64_t>( expected[o] ) )
+            << "instance " << instance << " lane " << j << " output " << o;
+      }
+    }
+  }
+}
+
+TEST( verify_block, matches_scalar_exhaustively_up_to_ten_inputs )
+{
+  std::mt19937_64 rng( 23 );
+  for ( const unsigned num_inputs : { 1u, 2u, 5u, 6u, 7u, 10u } )
+  {
+    const unsigned num_lines = num_inputs + 1u + rng() % 3u;
+    const auto circuit = random_circuit( rng, num_lines, 25u, num_inputs );
+    block_simulator sim( circuit );
+    const std::uint64_t space = std::uint64_t{ 1 } << num_inputs;
+    for ( std::uint64_t base = 0; base < space; base += 64u )
+    {
+      const auto lanes = std::min<std::uint64_t>( 64u, space - base );
+      std::vector<std::vector<bool>> batch;
+      for ( std::uint64_t j = 0; j < lanes; ++j )
+      {
+        batch.push_back( counter_assignment( base + j, num_inputs ) );
+      }
+      const auto words = sim.evaluate( pack( batch, num_inputs ) );
+      for ( std::uint64_t j = 0; j < lanes; ++j )
+      {
+        const auto expected = evaluate_circuit( circuit, batch[j] );
+        for ( std::size_t o = 0; o < expected.size(); ++o )
+        {
+          EXPECT_EQ( ( words[o] >> j ) & 1u, static_cast<std::uint64_t>( expected[o] ) )
+              << "n=" << num_inputs << " x=" << base + j << " output " << o;
+        }
+      }
+    }
+  }
+}
+
+TEST( verify_block, constant_ancilla_values_are_broadcast )
+{
+  // out = (1 AND x0) XOR x1 realized with a constant-1 ancilla as control.
+  reversible_circuit circuit( 3 );
+  circuit.line( 0 ).is_primary_input = true;
+  circuit.line( 1 ).is_primary_input = true;
+  circuit.line( 2 ).is_constant_input = true;
+  circuit.line( 2 ).constant_value = true;
+  circuit.line( 1 ).output_index = 0;
+  circuit.line( 1 ).is_garbage = false;
+  circuit.add_toffoli( 0, 2, 1 ); // fires iff x0 (ancilla is constant 1)
+  const auto words =
+      evaluate_circuit_block( circuit, { projections[0], projections[1] } );
+  ASSERT_EQ( words.size(), 1u );
+  EXPECT_EQ( words[0], projections[0] ^ projections[1] );
+}
+
+TEST( verify_block, input_arity_mismatch_throws )
+{
+  reversible_circuit circuit( 2 );
+  circuit.line( 0 ).is_primary_input = true;
+  circuit.line( 1 ).is_primary_input = true;
+  EXPECT_THROW( evaluate_circuit_block( circuit, { 0u } ), std::invalid_argument );
+}
+
+// --- truth-table tier --------------------------------------------------------
+
+TEST( verify_truth_tables, agrees_with_scalar_oracle_and_detects_single_bit_flips )
+{
+  std::mt19937_64 rng( 37 );
+  for ( const unsigned num_inputs : { 3u, 6u, 8u } )
+  {
+    const auto circuit = random_circuit( rng, num_inputs + 2u, 30u, num_inputs );
+    const auto num_outputs = output_lines_of( circuit ).size();
+    // Reference tables from the scalar oracle.
+    std::vector<truth_table> outputs( num_outputs, truth_table( num_inputs ) );
+    for ( std::uint64_t x = 0; x < ( std::uint64_t{ 1 } << num_inputs ); ++x )
+    {
+      const auto value = evaluate_circuit( circuit, counter_assignment( x, num_inputs ) );
+      for ( std::size_t o = 0; o < num_outputs; ++o )
+      {
+        outputs[o].set_bit( x, value[o] );
+      }
+    }
+    EXPECT_TRUE( verify_against_truth_tables( circuit, outputs ) ) << num_inputs;
+
+    auto corrupted = outputs;
+    const auto flip_output = rng() % num_outputs;
+    const auto flip_index = rng() % ( std::uint64_t{ 1 } << num_inputs );
+    corrupted[flip_output].set_bit( flip_index, !corrupted[flip_output].get_bit( flip_index ) );
+    EXPECT_FALSE( verify_against_truth_tables( circuit, corrupted ) ) << num_inputs;
+  }
+}
+
+TEST( verify_truth_tables, output_count_and_arity_mismatches_are_rejected )
+{
+  reversible_circuit circuit( 2 );
+  circuit.line( 0 ).is_primary_input = true;
+  circuit.line( 1 ).is_primary_input = true;
+  circuit.line( 1 ).output_index = 0;
+  circuit.line( 1 ).is_garbage = false;
+  EXPECT_FALSE( verify_against_truth_tables( circuit, {} ) );
+  EXPECT_FALSE(
+      verify_against_truth_tables( circuit, { truth_table( 3 ) } ) ); // wrong variable count
+}
+
+// --- exhaustive tier ---------------------------------------------------------
+
+TEST( verify_exhaustive, certifies_extraction_and_finds_first_counterexample )
+{
+  std::mt19937_64 rng( 51 );
+  for ( const unsigned num_inputs : { 1u, 2u, 3u, 4u, 5u, 6u, 8u } )
+  {
+    const auto circuit = random_circuit( rng, num_inputs + 2u, 20u, num_inputs );
+    const auto spec = circuit_to_aig( circuit );
+    // Ragged tails included: for num_inputs < 6 the whole space is one
+    // partial word.
+    EXPECT_EQ( verify_against_aig_exhaustive( circuit, spec ), std::nullopt ) << num_inputs;
+
+    // Complement one PO: the verifier must return the first failing
+    // assignment in counter order (the scalar enumeration's contract).
+    auto corrupted = spec;
+    corrupted.set_po( 0, lit_not( corrupted.po( 0 ) ) );
+    const auto cex = verify_against_aig_exhaustive( circuit, corrupted );
+    ASSERT_TRUE( cex.has_value() ) << num_inputs;
+    EXPECT_NE( evaluate_circuit( circuit, *cex ), corrupted.evaluate( *cex ) );
+    std::uint64_t first_failing = 0;
+    for ( std::uint64_t x = 0;; ++x )
+    {
+      const auto assignment = counter_assignment( x, num_inputs );
+      if ( evaluate_circuit( circuit, assignment ) != corrupted.evaluate( assignment ) )
+      {
+        first_failing = x;
+        break;
+      }
+    }
+    EXPECT_EQ( *cex, counter_assignment( first_failing, num_inputs ) ) << num_inputs;
+  }
+}
+
+TEST( verify_exhaustive, output_arity_mismatch_throws )
+{
+  // One circuit output vs. two AIG POs: both simulation tiers must reject
+  // the interface instead of comparing past the shorter result vector.
+  reversible_circuit circuit( 2 );
+  circuit.line( 0 ).is_primary_input = true;
+  circuit.line( 1 ).is_primary_input = true;
+  circuit.line( 1 ).output_index = 0;
+  circuit.line( 1 ).is_garbage = false;
+  aig_network aig( 2 );
+  aig.add_po( aig.pi( 1 ) );
+  aig.add_po( aig.pi( 0 ) );
+  EXPECT_THROW( verify_against_aig_exhaustive( circuit, aig ), std::invalid_argument );
+  EXPECT_THROW( verify_against_aig_sampled( circuit, aig, 2, 1 ), std::invalid_argument );
+  EXPECT_THROW( verify_against_aig_sat( circuit, aig ), std::invalid_argument );
+}
+
+TEST( verify_exhaustive, too_many_inputs_throws )
+{
+  reversible_circuit circuit( 25 );
+  for ( unsigned l = 0; l < 25u; ++l )
+  {
+    circuit.line( l ).is_primary_input = true;
+  }
+  circuit.line( 0 ).output_index = 0;
+  aig_network aig( 25 );
+  aig.add_po( aig.pi( 0 ) );
+  EXPECT_THROW( verify_against_aig_exhaustive( circuit, aig ), std::invalid_argument );
+}
+
+// --- sampled tier ------------------------------------------------------------
+
+TEST( verify_sampled, small_spaces_are_enumerated_exhaustively )
+{
+  // f = x0 AND x1, circuit computes OR: wrong exactly on the two one-hot
+  // patterns.  Sampling could miss them; the exhaustive branch cannot, and
+  // must return the first failing assignment x = 1, i.e. (1, 0).  This is
+  // the regression contract for the counterexample format of the scalar
+  // enumeration the block engine replaced.
+  aig_network aig( 2 );
+  aig.add_po( aig.create_and( aig.pi( 0 ), aig.pi( 1 ) ) );
+
+  reversible_circuit circuit( 3 );
+  circuit.line( 0 ).is_primary_input = true;
+  circuit.line( 1 ).is_primary_input = true;
+  circuit.line( 2 ).is_constant_input = true;
+  circuit.line( 2 ).output_index = 0;
+  circuit.line( 2 ).is_garbage = false;
+  circuit.add_gate( toffoli_gate{ { { 0, false }, { 1, false } }, 2 } );
+  circuit.add_not( 2 );
+
+  const auto cex = verify_against_aig_sampled( circuit, aig, 256, 1 );
+  ASSERT_TRUE( cex.has_value() );
+  EXPECT_EQ( *cex, ( std::vector<bool>{ true, false } ) );
+}
+
+TEST( verify_sampled, ragged_budget_below_one_word_still_covers_extremes )
+{
+  // 7 inputs with a 5-sample budget: 2^7 > 5, so the random branch runs one
+  // ragged 7-lane batch.  A circuit wrong only on the all-one pattern must
+  // still be caught (lane 1 pins all-one).
+  const unsigned n = 7;
+  aig_network aig( n );
+  std::vector<aig_lit> pis;
+  for ( unsigned i = 0; i < n; ++i )
+  {
+    pis.push_back( aig.pi( i ) );
+  }
+  aig.add_po( aig.create_nary_and( pis ) );
+
+  reversible_circuit circuit( n + 1u );
+  for ( unsigned l = 0; l < n; ++l )
+  {
+    circuit.line( l ).is_primary_input = true;
+  }
+  circuit.line( n ).is_constant_input = true;
+  circuit.line( n ).output_index = 0;
+  circuit.line( n ).is_garbage = false;
+  // Constant-0 output: differs from the spec only on the all-one input.
+  const auto cex = verify_against_aig_sampled( circuit, aig, 5, 99 );
+  ASSERT_TRUE( cex.has_value() );
+  EXPECT_EQ( *cex, std::vector<bool>( n, true ) );
+  EXPECT_NE( evaluate_circuit( circuit, *cex ), aig.evaluate( *cex ) );
+}
+
+TEST( verify_sampled, accepts_correct_extraction_on_wide_inputs )
+{
+  std::mt19937_64 rng( 77 );
+  const unsigned num_inputs = 12; // 2^12 > 256: genuine random sampling
+  const auto circuit = random_circuit( rng, num_inputs + 3u, 30u, num_inputs );
+  EXPECT_EQ( verify_against_aig_sampled( circuit, circuit_to_aig( circuit ), 256, 7 ),
+             std::nullopt );
+}
+
+// --- circuit -> AIG extraction and the SAT tier ------------------------------
+
+TEST( verify_sat, extraction_matches_scalar_oracle )
+{
+  std::mt19937_64 rng( 91 );
+  for ( int instance = 0; instance < 20; ++instance )
+  {
+    const unsigned num_inputs = 1u + rng() % 6u;
+    const auto circuit = random_circuit( rng, num_inputs + 1u + rng() % 3u, 15u, num_inputs );
+    const auto aig = circuit_to_aig( circuit );
+    for ( std::uint64_t x = 0; x < ( std::uint64_t{ 1 } << num_inputs ); ++x )
+    {
+      const auto assignment = counter_assignment( x, num_inputs );
+      EXPECT_EQ( aig.evaluate( assignment ), evaluate_circuit( circuit, assignment ) )
+          << "instance " << instance << " x=" << x;
+    }
+  }
+}
+
+TEST( verify_sat, proves_correct_circuits_and_refutes_corrupted_ones )
+{
+  std::mt19937_64 rng( 123 );
+  for ( int instance = 0; instance < 10; ++instance )
+  {
+    const unsigned num_inputs = 2u + rng() % 5u;
+    const auto circuit = random_circuit( rng, num_inputs + 2u, 20u, num_inputs );
+    const auto spec = circuit_to_aig( circuit );
+    EXPECT_EQ( verify_against_aig_sat( circuit, spec ), std::nullopt ) << instance;
+
+    auto corrupted = spec;
+    corrupted.set_po( 0, lit_not( corrupted.po( 0 ) ) );
+    const auto cex = verify_against_aig_sat( circuit, corrupted );
+    ASSERT_TRUE( cex.has_value() ) << instance;
+    // Counterexample round-trip: it must actually distinguish the circuit
+    // from the (corrupted) specification.
+    EXPECT_NE( evaluate_circuit( circuit, *cex ), corrupted.evaluate( *cex ) ) << instance;
+  }
+}
+
+TEST( verify_sat, interface_mismatch_throws )
+{
+  reversible_circuit circuit( 2 );
+  circuit.line( 0 ).is_primary_input = true;
+  circuit.line( 1 ).is_primary_input = true;
+  circuit.line( 1 ).output_index = 0;
+  circuit.line( 1 ).is_garbage = false;
+  aig_network aig( 3 );
+  aig.add_po( aig.pi( 0 ) );
+  EXPECT_THROW( verify_against_aig_sat( circuit, aig ), std::invalid_argument );
+}
