@@ -6,13 +6,19 @@
 ///
 /// For every (design, bitwidth, flow) case the benchmark runs exhaustive
 /// circuit-vs-AIG verification three ways — scalar enumeration, block
-/// enumeration (`verify_against_aig_exhaustive`), and the SAT miter
-/// (`verify_against_aig_sat`) — asserting that all tiers accept the
-/// correct circuit and reject a deliberately corrupted copy, and that the
-/// scalar and block counterexamples are bit-identical.  It writes
-/// BENCH_verify.json with per-case wall clocks and the block-vs-scalar
-/// speedup so every future PR can extend the perf trajectory
-/// (scripts/run_bench.sh gates on it).
+/// enumeration (`verify_against_aig_exhaustive`), and the SAT tier — and
+/// times the SAT tier itself three ways: the monolithic one-miter-per-call
+/// reference engine (`sat::check_equivalence`, the PR 3 path), the
+/// incremental structurally-hashed engine on a fresh instance
+/// (`sat::incremental_cec`, what a cold `verify_against_aig_sat` costs),
+/// and a warm re-check on a persistent engine (what every further
+/// configuration of a sweep costs).  All tiers and both SAT engines must
+/// accept the correct circuit and reject a deliberately corrupted copy
+/// with a *real* counterexample, and the scalar and block counterexamples
+/// must be bit-identical.  It writes BENCH_verify.json (schema v2, see
+/// docs/ARCHITECTURE.md) with per-case wall clocks, the block-vs-scalar
+/// speedup and the incremental-vs-monolithic SAT speedup so every future
+/// PR can extend the perf trajectory (scripts/run_bench.sh gates on it).
 ///
 /// Usage: bench_verify [--out FILE] [--quick]
 
@@ -26,6 +32,8 @@
 #include "common/timer.hpp"
 #include "core/flows.hpp"
 #include "reversible/verify.hpp"
+#include "sat/cnf.hpp"
+#include "sat/incremental.hpp"
 #include "synth/aig_optimize.hpp"
 #include "verilog/elaborator.hpp"
 
@@ -83,8 +91,11 @@ struct case_result
   std::size_t gates = 0;
   double scalar_ms = 0.0;
   double block_ms = 0.0;
-  double speedup = 0.0;
-  double sat_ms = 0.0;
+  double speedup = 0.0;      ///< block vs scalar
+  double sat_mono_ms = 0.0;  ///< monolithic reference (sat::check_equivalence)
+  double sat_ms = 0.0;       ///< incremental engine, cold (fresh instance)
+  double sat_warm_ms = 0.0;  ///< incremental engine, warm re-check (sweep reuse)
+  double sat_speedup = 0.0;  ///< monolithic vs cold incremental
   bool tiers_agree = true;      ///< all tiers accept the correct circuit,
                                 ///< scalar == block bit-for-bit
   bool corrupt_rejected = true; ///< all tiers reject the corrupted circuit
@@ -110,10 +121,30 @@ case_result run_case( reciprocal_design design, unsigned n, flow_kind kind )
   // --- correct circuit: every tier must accept -------------------------------
   const auto scalar_cex = scalar_exhaustive( circuit, spec );
   const auto block_cex = verify_against_aig_exhaustive( circuit, spec );
-  stopwatch sat_watch;
-  const auto sat_cex = verify_against_aig_sat( circuit, spec );
-  r.sat_ms = sat_watch.elapsed_seconds() * 1000.0;
-  r.tiers_agree = !scalar_cex && !block_cex && !sat_cex;
+
+  // SAT tier, three ways, all timed on the same precomputed impl AIG so
+  // the gated speedup compares the engines alone (circuit_to_aig
+  // extraction is outside both scopes).  Monolithic reference: fresh
+  // solver + one global miter per call (the PR 3 path, kept in
+  // sat/cnf.hpp).
+  const auto impl = circuit_to_aig( circuit );
+  bool mono_ok = false;
+  r.sat_mono_ms = time_ms( [&] { mono_ok = sat::check_equivalence( spec, impl ).equivalent; } );
+  // Cold incremental: fresh engine per call — what the first `sat`-tier
+  // check of a sweep costs.
+  bool cold_ok = false;
+  r.sat_ms = time_ms( [&] {
+    sat::incremental_cec cold;
+    cold_ok = cold.check( spec, impl ).equivalent;
+  } );
+  // Warm incremental: a persistent engine re-checking after a first encode —
+  // the cost every further configuration of a sweep pays for this cone.
+  sat::incremental_cec warm_engine;
+  (void)warm_engine.check( spec, impl );
+  bool warm_ok = false;
+  r.sat_warm_ms = time_ms( [&] { warm_ok = warm_engine.check( spec, impl ).equivalent; } );
+  r.sat_speedup = r.sat_ms > 0.0 ? r.sat_mono_ms / r.sat_ms : 0.0;
+  r.tiers_agree = !scalar_cex && !block_cex && cold_ok && mono_ok && warm_ok;
 
   r.scalar_ms = time_ms( [&] { (void)scalar_exhaustive( circuit, spec ); } );
   r.block_ms = time_ms( [&] { (void)verify_against_aig_exhaustive( circuit, spec ); } );
@@ -124,19 +155,28 @@ case_result run_case( reciprocal_design design, unsigned n, flow_kind kind )
   const auto scalar_bad = scalar_exhaustive( corrupted, spec );
   const auto block_bad = verify_against_aig_exhaustive( corrupted, spec );
   const auto sat_bad = verify_against_aig_sat( corrupted, spec );
-  r.corrupt_rejected = scalar_bad.has_value() && block_bad.has_value() && sat_bad.has_value();
+  const auto mono_bad = sat::check_equivalence( spec, circuit_to_aig( corrupted ) );
+  r.corrupt_rejected = scalar_bad.has_value() && block_bad.has_value() &&
+                       sat_bad.has_value() && !mono_bad.equivalent;
   // Scalar and block enumerate in the same order: identical counterexample.
   r.tiers_agree = r.tiers_agree && scalar_bad == block_bad;
+  // SAT counterexamples are solver-dependent; require both engines' to be real.
   if ( sat_bad )
   {
-    // The SAT counterexample is solver-dependent; require it to be real.
     r.corrupt_rejected = r.corrupt_rejected &&
                          evaluate_circuit( corrupted, *sat_bad ) != spec.evaluate( *sat_bad );
   }
+  if ( mono_bad.counterexample )
+  {
+    r.corrupt_rejected = r.corrupt_rejected &&
+                         evaluate_circuit( corrupted, *mono_bad.counterexample ) !=
+                             spec.evaluate( *mono_bad.counterexample );
+  }
 
   std::printf( "%-16s pis %2u  gates %6zu | scalar %9.3f ms | block %8.4f ms (%6.1fx) | "
-               "sat %8.2f ms | %s%s\n",
-               r.name.c_str(), r.pis, r.gates, r.scalar_ms, r.block_ms, r.speedup, r.sat_ms,
+               "sat mono %8.2f ms  inc %7.2f ms (%5.1fx)  warm %7.3f ms | %s%s\n",
+               r.name.c_str(), r.pis, r.gates, r.scalar_ms, r.block_ms, r.speedup,
+               r.sat_mono_ms, r.sat_ms, r.sat_speedup, r.sat_warm_ms,
                r.tiers_agree ? "agree" : "TIERS DIVERGED",
                r.corrupt_rejected ? "" : ", CORRUPTION MISSED" );
   return r;
@@ -146,10 +186,13 @@ void write_json( const char* path, const std::vector<case_result>& cases )
 {
   bool all_agree = true;
   double min_speedup = 0.0;
+  double min_sat_speedup = 0.0;
   for ( const auto& c : cases )
   {
     all_agree = all_agree && c.tiers_agree && c.corrupt_rejected;
     min_speedup = min_speedup == 0.0 ? c.speedup : std::min( min_speedup, c.speedup );
+    min_sat_speedup =
+        min_sat_speedup == 0.0 ? c.sat_speedup : std::min( min_sat_speedup, c.sat_speedup );
   }
   FILE* f = std::fopen( path, "w" );
   if ( !f )
@@ -157,9 +200,10 @@ void write_json( const char* path, const std::vector<case_result>& cases )
     std::fprintf( stderr, "cannot open %s for writing\n", path );
     std::exit( 1 );
   }
-  std::fprintf( f, "{\n  \"bench\": \"verify\",\n  \"schema_version\": 1,\n" );
+  std::fprintf( f, "{\n  \"bench\": \"verify\",\n  \"schema_version\": 2,\n" );
   std::fprintf( f, "  \"all_agree\": %s,\n", all_agree ? "true" : "false" );
   std::fprintf( f, "  \"min_speedup\": %.1f,\n", min_speedup );
+  std::fprintf( f, "  \"min_sat_speedup\": %.1f,\n", min_sat_speedup );
   std::fprintf( f, "  \"cases\": [\n" );
   for ( std::size_t i = 0; i < cases.size(); ++i )
   {
@@ -172,7 +216,10 @@ void write_json( const char* path, const std::vector<case_result>& cases )
     std::fprintf( f, "      \"scalar_ms\": %.4f,\n", c.scalar_ms );
     std::fprintf( f, "      \"block_ms\": %.4f,\n", c.block_ms );
     std::fprintf( f, "      \"speedup\": %.1f,\n", c.speedup );
+    std::fprintf( f, "      \"sat_mono_ms\": %.2f,\n", c.sat_mono_ms );
     std::fprintf( f, "      \"sat_ms\": %.2f,\n", c.sat_ms );
+    std::fprintf( f, "      \"sat_warm_ms\": %.3f,\n", c.sat_warm_ms );
+    std::fprintf( f, "      \"sat_speedup\": %.1f,\n", c.sat_speedup );
     std::fprintf( f, "      \"tiers_agree\": %s,\n", c.tiers_agree ? "true" : "false" );
     std::fprintf( f, "      \"corrupt_rejected\": %s\n", c.corrupt_rejected ? "true" : "false" );
     std::fprintf( f, "    }%s\n", i + 1 < cases.size() ? "," : "" );

@@ -8,7 +8,13 @@
 #     sequential path),
 #   * the verification tiers diverge (scalar vs block vs SAT accept/reject),
 #     a corrupted circuit slips through, or the block-vs-scalar speedup
-#     drops more than 10% against the committed baseline.
+#     drops more than 10% against the committed baseline,
+#   * the incremental SAT engine regresses: aggregate SAT-tier wall clock
+#     (or the incremental-vs-monolithic speedup, measured in the same run)
+#     more than 15% worse than the committed baseline, or the NEWTON(8)
+#     hierarchical miter below its 10x floor,
+#   * docs/ARCHITECTURE.md is missing or no longer mentions every src/*
+#     subdirectory.
 # Finally reruns the verification test suite under AddressSanitizer
 # (QSYN_SANITIZE=address) — the block engine is all raw word indexing.
 #
@@ -182,6 +188,11 @@ import sys
 SPEEDUP_REGRESSION_LIMIT = 0.25
 SPEEDUP_FLOOR = 20.0  # every case must keep a >= 20x block-vs-scalar win
 
+SAT_REGRESSION_LIMIT = 0.15       # incremental-vs-monolithic speedup band
+SAT_WALL_REGRESSION_LIMIT = 0.25  # absolute SAT wall clock: same run-to-run
+                                  # noise allowance as the block gate
+SAT_NEWTON8_FLOOR = 10.0          # incremental-vs-monolithic on the flagship miter
+
 with open(sys.argv[1]) as f:
     baseline = {c["name"]: c for c in json.load(f)["cases"]}
 with open(sys.argv[2]) as f:
@@ -193,6 +204,7 @@ if not fresh_doc.get("all_agree", False):
     failures.append("verification tiers diverged or a corrupted circuit slipped through")
 
 base_scalar = base_block = fresh_scalar = fresh_block = 0.0
+base_sat = base_mono = fresh_sat = fresh_mono = 0.0
 for name, base in sorted(baseline.items()):
     new = fresh.get(name)
     if new is None:
@@ -206,13 +218,24 @@ for name, base in sorted(baseline.items()):
             f"{name}: block-vs-scalar speedup {new['speedup']:.1f}x below the "
             f"{SPEEDUP_FLOOR:.0f}x floor"
         )
+    if name == "newton-n8-hier" and new.get("sat_speedup", 0.0) < SAT_NEWTON8_FLOOR:
+        failures.append(
+            f"{name}: incremental-vs-monolithic SAT speedup "
+            f"{new.get('sat_speedup', 0.0):.1f}x below the {SAT_NEWTON8_FLOOR:.0f}x floor"
+        )
     base_scalar += base["scalar_ms"]
     base_block += base["block_ms"]
     fresh_scalar += new["scalar_ms"]
     fresh_block += new["block_ms"]
+    base_sat += base.get("sat_ms", 0.0)
+    base_mono += base.get("sat_mono_ms", 0.0)
+    fresh_sat += new.get("sat_ms", 0.0)
+    fresh_mono += new.get("sat_mono_ms", 0.0)
     print(
         f"{name}: block {base['block_ms']:.4f} -> {new['block_ms']:.4f} ms"
         f"  (speedup {new['speedup']:.1f}x vs baseline {base['speedup']:.1f}x)"
+        f"  sat {base.get('sat_ms', 0.0):.2f} -> {new.get('sat_ms', 0.0):.2f} ms"
+        f" ({new.get('sat_speedup', 0.0):.1f}x vs mono)"
     )
 
 # Machine-independent gate on the AGGREGATE speedup (both halves measured
@@ -227,6 +250,24 @@ if base_speedup > 0 and fresh_speedup < base_speedup * (1.0 - SPEEDUP_REGRESSION
         f"{base_speedup:.1f}x (> {SPEEDUP_REGRESSION_LIMIT:.0%} regression)"
     )
 
+# SAT-tier gates.  Machine-independent primary: the aggregate
+# incremental-vs-monolithic speedup, both engines timed in the same fresh
+# run.  Machine-dependent secondary: absolute aggregate SAT wall clock vs
+# the committed baseline (re-baseline on hardware changes, see README).
+base_sat_speedup = (base_mono / base_sat) if base_sat > 0 else 0.0
+fresh_sat_speedup = (fresh_mono / fresh_sat) if fresh_sat > 0 else 0.0
+if base_sat_speedup > 0 and fresh_sat_speedup < base_sat_speedup * (1.0 - SAT_REGRESSION_LIMIT):
+    failures.append(
+        f"aggregate incremental-vs-monolithic SAT speedup {fresh_sat_speedup:.1f}x vs "
+        f"baseline {base_sat_speedup:.1f}x (> {SAT_REGRESSION_LIMIT:.0%} regression)"
+    )
+if base_sat > 0 and fresh_sat > base_sat * (1.0 + SAT_WALL_REGRESSION_LIMIT):
+    failures.append(
+        f"aggregate SAT-tier wall clock {fresh_sat:.2f} ms vs baseline {base_sat:.2f} ms "
+        f"(> {SAT_WALL_REGRESSION_LIMIT:.0%} regression; machine-dependent — "
+        f"re-baseline if hardware changed)"
+    )
+
 if failures:
     print("\nBENCHMARK REGRESSIONS:")
     for f in failures:
@@ -234,11 +275,33 @@ if failures:
     sys.exit(1)
 print(
     "\nverify benchmark OK (aggregate speedup {:.1f}x vs baseline {:.1f}x, "
-    "within {:.0%}; tiers agree)".format(
-        fresh_speedup, base_speedup, SPEEDUP_REGRESSION_LIMIT
+    "SAT tier {:.1f}x vs mono; tiers agree)".format(
+        fresh_speedup, base_speedup, fresh_sat_speedup
     )
 )
 EOF
+
+# --- documentation check -----------------------------------------------------
+# docs/ARCHITECTURE.md is the layer map of the whole system; every source
+# subdirectory must exist in it so the map cannot silently rot.
+
+ARCH_DOC="$REPO_ROOT/docs/ARCHITECTURE.md"
+if [[ ! -f "$ARCH_DOC" ]]; then
+  echo "DOCS CHECK FAILED: $ARCH_DOC is missing"
+  exit 1
+fi
+DOC_FAILURES=0
+for dir in "$REPO_ROOT"/src/*/; do
+  name=$(basename "$dir")
+  if ! grep -q "src/$name" "$ARCH_DOC"; then
+    echo "DOCS CHECK FAILED: src/$name is not mentioned in docs/ARCHITECTURE.md"
+    DOC_FAILURES=1
+  fi
+done
+if [[ "$DOC_FAILURES" -ne 0 ]]; then
+  exit 1
+fi
+echo "docs check OK (docs/ARCHITECTURE.md covers every src/* subdirectory)"
 
 # --- verification tests under AddressSanitizer -------------------------------
 # The block engine is raw uint64_t indexing over packed state words; run its

@@ -47,18 +47,24 @@ std::string dse_label( const flow_params& params )
   case flow_kind::esop_based:
     return "esop(p=" + std::to_string( params.esop_p ) + ")";
   case flow_kind::hierarchical:
+  {
+    // Non-default LUT cut sizes are a DSE axis of their own; the default
+    // k = 4 keeps the historical label (and the committed bench baselines).
+    const auto k =
+        params.cut_size == 4u ? std::string{} : ",k=" + std::to_string( params.cut_size );
     // No default labels: -Wswitch (enabled for the library) must keep
     // flagging newly added enumerators here.
     switch ( params.cleanup )
     {
     case cleanup_strategy::keep_garbage:
-      return "hierarchical(garbage)";
+      return "hierarchical(garbage" + k + ")";
     case cleanup_strategy::bennett:
-      return "hierarchical(bennett)";
+      return "hierarchical(bennett" + k + ")";
     case cleanup_strategy::eager:
-      return "hierarchical(eager)";
+      return "hierarchical(eager" + k + ")";
     }
     return "hierarchical(unknown)";
+  }
   }
   return "unknown";
 }

@@ -4,6 +4,7 @@
 
 #include "../common/timer.hpp"
 #include "../reversible/verify.hpp"
+#include "../sat/incremental.hpp"
 #include "../synth/aig_optimize.hpp"
 #include "../synth/collapse.hpp"
 #include "../synth/esop_extract.hpp"
@@ -98,6 +99,9 @@ flow_result functional_tail( const flow_artifact_cache::functional_artifact& art
 
 // --- flow_artifact_cache -----------------------------------------------------
 
+flow_artifact_cache::flow_artifact_cache() = default;
+flow_artifact_cache::~flow_artifact_cache() = default;
+
 void flow_artifact_cache::check_same_design( const aig_network& aig )
 {
   if ( !bound_ )
@@ -179,10 +183,12 @@ flow_artifact_cache::esop_intermediate( const aig_network& aig, unsigned rounds,
 }
 
 const flow_artifact_cache::xmg_artifact&
-flow_artifact_cache::xmg_intermediate( const aig_network& aig, unsigned rounds )
+flow_artifact_cache::xmg_intermediate( const aig_network& aig, unsigned rounds,
+                                       unsigned cut_size )
 {
   std::lock_guard<std::mutex> lock( mutex_ );
-  const auto it = xmgs_.find( rounds );
+  const auto key = std::make_pair( rounds, cut_size );
+  const auto it = xmgs_.find( key );
   if ( it != xmgs_.end() )
   {
     ++stats_.hits;
@@ -191,8 +197,18 @@ flow_artifact_cache::xmg_intermediate( const aig_network& aig, unsigned rounds )
   const auto& opt = optimized_locked( aig, rounds );
   ++stats_.misses;
   xmg_artifact art;
-  art.graph = xmg_from_aig( opt, 4u, &art.stats );
-  return xmgs_.emplace( rounds, std::move( art ) ).first->second;
+  art.graph = xmg_from_aig( opt, cut_size, &art.stats );
+  return xmgs_.emplace( key, std::move( art ) ).first->second;
+}
+
+sat::incremental_cec& flow_artifact_cache::sat_engine()
+{
+  std::lock_guard<std::mutex> lock( mutex_ );
+  if ( !sat_engine_ )
+  {
+    sat_engine_ = std::make_unique<sat::incremental_cec>();
+  }
+  return *sat_engine_;
 }
 
 void flow_artifact_cache::prefetch( const aig_network& aig, const flow_params& params )
@@ -208,7 +224,7 @@ void flow_artifact_cache::prefetch( const aig_network& aig, const flow_params& p
     esop_intermediate( aig, params.optimization_rounds, params.run_exorcism );
     break;
   case flow_kind::hierarchical:
-    xmg_intermediate( aig, params.optimization_rounds );
+    xmg_intermediate( aig, params.optimization_rounds, params.cut_size );
     break;
   }
 }
@@ -250,7 +266,8 @@ flow_result run_flow_staged( const aig_network& aig, const flow_params& params,
   }
   case flow_kind::hierarchical:
   {
-    const auto& art = cache.xmg_intermediate( aig, params.optimization_rounds );
+    const auto& art =
+        cache.xmg_intermediate( aig, params.optimization_rounds, params.cut_size );
     result.xmg_maj = art.graph.num_maj();
     result.xmg_xor = art.graph.num_xor();
     hierarchical_params hparams;
@@ -294,7 +311,10 @@ flow_result run_flow_staged( const aig_network& aig, const flow_params& params,
       }
       break;
     case verify_mode::sat:
-      result.counterexample = verify_against_aig_sat( result.circuit, optimized );
+      // The cache-owned persistent engine: every configuration of a sweep
+      // re-uses the spec encoding and the lemmas of earlier checks.
+      result.counterexample =
+          verify_against_aig_sat( result.circuit, optimized, cache.sat_engine() );
       result.verified = !result.counterexample.has_value();
       break;
     }

@@ -19,14 +19,18 @@
 /// `flow_artifact_cache` keyed on the parameter subset each stage actually
 /// depends on.  A design-space sweep therefore optimizes the AIG once,
 /// runs ESOP extraction + exorcism once across all `esop_p` values, and
-/// builds the XMG once across all cleanup strategies; only the
-/// per-configuration synthesis tails repeat.  `run_flow_on_aig` remains
-/// the one-shot convenience wrapper around a private cache.
+/// builds the XMG once per `(rounds, cut_size)` across all cleanup
+/// strategies; only the per-configuration synthesis tails repeat.
+/// `run_flow_on_aig` remains the one-shot convenience wrapper around a
+/// private cache.
 ///
 /// Every flow closes with a verification tier selected by
 /// `flow_params::verification` (`verify_mode`): 64-way batched random
-/// sampling, 64-way exhaustive enumeration, or a SAT miter through
-/// `src/sat/` — the ladder mirrors the paper's closing ABC `cec` call.
+/// sampling, 64-way exhaustive enumeration, or the incremental SAT
+/// equivalence engine (`sat::incremental_cec`) — the ladder mirrors the
+/// paper's closing ABC `cec` call.  The cache owns the sweep's persistent
+/// engine (`sat_engine()`), so every `sat`-tier check of a sweep shares
+/// one encoding and its learned lemmas.
 /// The flow result carries the reversible circuit, the cost report, the
 /// synthesis runtime (verification is timed separately in
 /// `verify_seconds`, with the tier recorded in `verified_with`), and
@@ -37,6 +41,7 @@
 
 #include <cstddef>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -55,6 +60,11 @@
 
 namespace qsyn
 {
+
+namespace sat
+{
+class incremental_cec;
+} // namespace sat
 
 /// Which design to generate at the design level.
 enum class reciprocal_design
@@ -95,6 +105,11 @@ struct flow_params
   bool run_exorcism = true;         ///< ESOP flow: minimize cube list
   unsigned esop_p = 0;              ///< ESOP flow: REVS factoring parameter
   cleanup_strategy cleanup = cleanup_strategy::keep_garbage; ///< hierarchical
+  unsigned cut_size = 4;            ///< hierarchical flow: LUT cut size k fed
+                                    ///< to the mapper before XMG resynthesis
+                                    ///< (the paper's `xmglut -k`; a DSE axis;
+                                    ///< must be >= 2 — the mapper throws
+                                    ///< std::invalid_argument otherwise)
   bool bidirectional_tbs = true;    ///< functional flow
   bool verify = true;               ///< master toggle (false == verify_mode::none)
   verify_mode verification = verify_mode::sampled; ///< tier used when verify is on
@@ -145,6 +160,11 @@ struct cache_stats
 class flow_artifact_cache
 {
 public:
+  flow_artifact_cache();
+  ~flow_artifact_cache(); ///< out-of-line: `sat::incremental_cec` is incomplete here
+  flow_artifact_cache( const flow_artifact_cache& ) = delete;
+  flow_artifact_cache& operator=( const flow_artifact_cache& ) = delete;
+
   /// Functional back-end intermediate: collapsed output truth tables and
   /// the line-optimum embedding.
   struct functional_artifact
@@ -176,8 +196,19 @@ public:
   /// Extraction + optional exorcism, keyed on (rounds, run_exorcism).
   const esop_artifact& esop_intermediate( const aig_network& aig, unsigned rounds,
                                           bool run_exorcism );
-  /// LUT map + XMG resynthesis, keyed on rounds.
-  const xmg_artifact& xmg_intermediate( const aig_network& aig, unsigned rounds );
+  /// LUT map + XMG resynthesis, keyed on (rounds, cut_size).
+  const xmg_artifact& xmg_intermediate( const aig_network& aig, unsigned rounds,
+                                        unsigned cut_size );
+
+  /// The cache's persistent incremental SAT equivalence engine
+  /// (`sat::incremental_cec`), created on first use.  Every `sat`-tier
+  /// verification of a `run_flow_staged` call on this cache goes through it,
+  /// so a sweep's configurations share the spec encoding, fraig merges, and
+  /// learned lemmas instead of re-encoding the miter from scratch per
+  /// configuration.  Thread-safe (the engine serializes internally; creation
+  /// is guarded by the cache mutex), and verdict-identical to a fresh
+  /// engine per call — reuse only changes the wall clock.
+  sat::incremental_cec& sat_engine();
 
   /// Computes every artifact the given configuration will look up, so a
   /// subsequent `run_flow_staged` only runs the synthesis tail.
@@ -193,7 +224,8 @@ private:
   std::map<unsigned, aig_network> optimized_;
   std::map<unsigned, functional_artifact> functional_;
   std::map<std::pair<unsigned, bool>, esop_artifact> esops_;
-  std::map<unsigned, xmg_artifact> xmgs_;
+  std::map<std::pair<unsigned, unsigned>, xmg_artifact> xmgs_;
+  std::unique_ptr<sat::incremental_cec> sat_engine_; ///< lazily created
   cache_stats stats_;
   bool bound_ = false;        ///< cache is bound to the first design seen
   unsigned bound_pis_ = 0;    ///< best-effort guard against cross-design reuse

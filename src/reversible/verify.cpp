@@ -5,7 +5,7 @@
 #include <stdexcept>
 
 #include "../common/bits.hpp"
-#include "../sat/cnf.hpp"
+#include "../sat/incremental.hpp"
 
 namespace qsyn
 {
@@ -325,17 +325,30 @@ aig_network circuit_to_aig( const reversible_circuit& circuit )
 std::optional<std::vector<bool>> verify_against_aig_sat( const reversible_circuit& circuit,
                                                          const aig_network& aig )
 {
+  sat::incremental_cec engine;
+  return verify_against_aig_sat( circuit, aig, engine );
+}
+
+std::optional<std::vector<bool>> verify_against_aig_sat( const reversible_circuit& circuit,
+                                                         const aig_network& aig,
+                                                         sat::incremental_cec& engine,
+                                                         unsigned* failing_output )
+{
   const auto impl = circuit_to_aig( circuit );
   if ( impl.num_pis() != aig.num_pis() || impl.num_pos() != aig.num_pos() )
   {
     throw std::invalid_argument( "verify_against_aig_sat: interface mismatch" );
   }
-  const auto result = sat::check_equivalence( aig, impl );
-  if ( result.equivalent )
+  const auto outcome = engine.check( aig, impl );
+  if ( outcome.equivalent )
   {
     return std::nullopt;
   }
-  return result.counterexample;
+  if ( failing_output && outcome.failing_output )
+  {
+    *failing_output = *outcome.failing_output;
+  }
+  return outcome.counterexample;
 }
 
 reversible_circuit corrupt_circuit( const reversible_circuit& circuit, const aig_network& spec )

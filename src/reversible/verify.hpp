@@ -7,9 +7,11 @@
 ///     (probabilistic; silently exhaustive when 2^inputs fits the budget),
 ///   * **exhaustive** — all 2^inputs assignments, 64 per word (a proof for
 ///     bounded input counts),
-///   * **SAT** — the circuit's function is extracted into an AIG and a
-///     miter against the specification is solved (`qsyn::sat`); a proof at
-///     any width.
+///   * **SAT** — the circuit's function is extracted into an AIG and
+///     checked against the specification by the incremental equivalence
+///     engine (`qsyn::sat::incremental_cec`: shared structural hashing,
+///     per-output miters under assumptions, simulation-guided fraiging); a
+///     proof at any width, and reusable across a sweep's configurations.
 /// The simulation tiers share one engine: `evaluate_circuit_block` packs 64
 /// input assignments into one `std::uint64_t` word per circuit line and
 /// sweeps every gate over whole words — the Toffoli control conjunction is
@@ -34,6 +36,11 @@
 
 namespace qsyn
 {
+
+namespace sat
+{
+class incremental_cec;
+} // namespace sat
 
 /// Lines flagged as primary inputs, in order.
 std::vector<std::uint32_t> input_lines_of( const reversible_circuit& circuit );
@@ -106,12 +113,30 @@ std::optional<std::vector<bool>> verify_against_aig_sampled( const reversible_ci
 /// its (polarity-adjusted) control literals XORed onto its target.
 aig_network circuit_to_aig( const reversible_circuit& circuit );
 
-/// Proves or refutes circuit-vs-AIG equivalence with a SAT miter
-/// (`qsyn::sat::check_equivalence` on the extracted circuit AIG).  Returns
-/// the first counterexample found by the solver, or nullopt on a proof.
-/// Width-independent, unlike the exhaustive tier.
+/// Proves or refutes circuit-vs-AIG equivalence through the incremental
+/// SAT equivalence engine (`qsyn::sat::incremental_cec` on the extracted
+/// circuit AIG: shared structural hashing, per-output miters under
+/// assumptions, simulation-guided fraiging).  Width-independent, unlike
+/// the exhaustive tier.
+///
+/// **First-counterexample contract:** on inequivalence the returned
+/// assignment distinguishes circuit and spec at the *lowest-indexed*
+/// differing output (reported through `failing_output` when non-null); the
+/// assignment itself is solver-dependent but always real.  `nullopt` is a
+/// proof of equivalence.  This one-shot overload builds a private engine;
+/// prefer the engine overload inside sweeps.
 std::optional<std::vector<bool>> verify_against_aig_sat( const reversible_circuit& circuit,
                                                          const aig_network& aig );
+
+/// As above, but on a caller-owned persistent engine, so successive checks
+/// of one design sweep share the spec encoding, fraig merges, and learned
+/// lemmas.  Thread-safe: the engine serializes concurrent calls
+/// internally.  `failing_output`, if non-null, receives the index of the
+/// lowest differing output when a counterexample is returned.
+std::optional<std::vector<bool>> verify_against_aig_sat( const reversible_circuit& circuit,
+                                                         const aig_network& aig,
+                                                         sat::incremental_cec& engine,
+                                                         unsigned* failing_output = nullptr );
 
 /// Checks that the circuit realizes exactly the given permutation over all
 /// its lines (num_lines() <= 20).

@@ -1,11 +1,15 @@
 /// \file cnf.hpp
-/// \brief Tseitin encoding of AIGs and SAT-based combinational equivalence
-/// checking.
+/// \brief Tseitin encoding of AIGs and one-shot SAT-based combinational
+/// equivalence checking.
 ///
 /// The paper verifies every synthesized reversible circuit against its
-/// specification with ABC's `cec`.  We provide the same capability: a miter
-/// between two AIGs is encoded to CNF and handed to the CDCL solver; UNSAT
-/// proves equivalence, a model is a counterexample input assignment.
+/// specification with ABC's `cec`.  `check_equivalence` is the *monolithic*
+/// form of that capability: both AIGs are encoded from scratch into a fresh
+/// solver and one global miter (the OR over all output XORs) is solved;
+/// UNSAT proves equivalence, a model is a counterexample input assignment.
+/// It is retained as the simple reference engine — the verification tiers
+/// and the DSE sweeps run on the incremental, structurally-hashed engine in
+/// incremental.hpp, which `bench_verify` measures against this one.
 
 #pragma once
 

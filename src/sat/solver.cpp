@@ -6,6 +6,32 @@
 namespace qsyn::sat
 {
 
+namespace
+{
+
+/// Luby restart sequence (1, 1, 2, 1, 1, 2, 4, ...) for index i >= 1.
+std::uint64_t luby( std::uint64_t i )
+{
+  // Find the finite subsequence containing index i and the position within.
+  std::uint64_t k = 1;
+  while ( ( ( std::uint64_t{ 1 } << k ) - 1u ) < i )
+  {
+    ++k;
+  }
+  while ( ( ( std::uint64_t{ 1 } << k ) - 1u ) != i )
+  {
+    i -= ( std::uint64_t{ 1 } << ( k - 1u ) ) - 1u;
+    k = 1;
+    while ( ( ( std::uint64_t{ 1 } << k ) - 1u ) < i )
+    {
+      ++k;
+    }
+  }
+  return std::uint64_t{ 1 } << ( k - 1u );
+}
+
+} // namespace
+
 std::uint32_t solver::new_var()
 {
   const auto v = static_cast<std::uint32_t>( assign_.size() );
@@ -17,7 +43,25 @@ std::uint32_t solver::new_var()
   seen_.push_back( false );
   watches_.emplace_back();
   watches_.emplace_back();
+  heap_pos_.push_back( -1 );
+  branchable_.push_back( true );
+  heap_insert( v );
   return v;
+}
+
+void solver::set_branchable( std::uint32_t var, bool branchable )
+{
+  branchable_[var] = branchable;
+  if ( branchable && !heap_contains( var ) && assign_[var] == lbool::unassigned )
+  {
+    heap_insert( var );
+  }
+  if ( !branchable )
+  {
+    // Lazy removal: pick_branch drops non-branchable pops.  The fallback
+    // scan must re-examine it, though.
+    fallback_scan_from_ = 0;
+  }
 }
 
 bool solver::add_clause( std::vector<literal> lits )
@@ -63,7 +107,7 @@ bool solver::add_clause( std::vector<literal> lits )
     return true;
   }
   const auto index = static_cast<std::uint32_t>( clauses_.size() );
-  clauses_.push_back( { std::move( filtered ) } );
+  clauses_.push_back( { std::move( filtered ), 0.0, 0, false } );
   attach_clause( index );
   return true;
 }
@@ -163,6 +207,7 @@ void solver::analyze( std::int32_t conflict, std::vector<literal>& learnt, std::
 
   for ( ;; )
   {
+    bump_clause( static_cast<std::uint32_t>( conflict ) );
     const auto& reason_lits = clauses_[conflict].lits;
     for ( std::size_t i = have_p ? 1u : 0u; i < reason_lits.size(); ++i )
     {
@@ -253,29 +298,116 @@ void solver::backtrack( std::uint32_t level )
     phase_[v] = assign_[v] == lbool::true_value;
     assign_[v] = lbool::unassigned;
     reason_[v] = -1;
+    if ( branchable_[v] && !heap_contains( v ) )
+    {
+      heap_insert( v );
+    }
   }
   trail_.resize( limit );
   trail_limits_.resize( level );
   propagate_head_ = trail_.size();
+  // Unassigning variables invalidates the fallback watermark.
+  fallback_scan_from_ = 0;
+}
+
+// --- variable order heap -----------------------------------------------------
+
+void solver::heap_insert( std::uint32_t var )
+{
+  heap_pos_[var] = static_cast<std::int32_t>( heap_.size() );
+  heap_.push_back( var );
+  heap_sift_up( heap_.size() - 1u );
+}
+
+void solver::heap_sift_up( std::size_t i )
+{
+  const auto var = heap_[i];
+  const auto act = activity_[var];
+  while ( i > 0 )
+  {
+    const auto parent = ( i - 1u ) / 2u;
+    if ( activity_[heap_[parent]] >= act )
+    {
+      break;
+    }
+    heap_[i] = heap_[parent];
+    heap_pos_[heap_[i]] = static_cast<std::int32_t>( i );
+    i = parent;
+  }
+  heap_[i] = var;
+  heap_pos_[var] = static_cast<std::int32_t>( i );
+}
+
+void solver::heap_sift_down( std::size_t i )
+{
+  const auto var = heap_[i];
+  const auto act = activity_[var];
+  const auto size = heap_.size();
+  for ( ;; )
+  {
+    std::size_t child = 2u * i + 1u;
+    if ( child >= size )
+    {
+      break;
+    }
+    if ( child + 1u < size && activity_[heap_[child + 1u]] > activity_[heap_[child]] )
+    {
+      ++child;
+    }
+    if ( activity_[heap_[child]] <= act )
+    {
+      break;
+    }
+    heap_[i] = heap_[child];
+    heap_pos_[heap_[i]] = static_cast<std::int32_t>( i );
+    i = child;
+  }
+  heap_[i] = var;
+  heap_pos_[var] = static_cast<std::int32_t>( i );
+}
+
+std::uint32_t solver::heap_pop()
+{
+  const auto top = heap_[0];
+  heap_pos_[top] = -1;
+  const auto last = heap_.back();
+  heap_.pop_back();
+  if ( !heap_.empty() )
+  {
+    heap_[0] = last;
+    heap_pos_[last] = 0;
+    heap_sift_down( 0 );
+  }
+  return top;
 }
 
 literal solver::pick_branch()
 {
-  std::uint32_t best = 0;
-  double best_activity = -1.0;
-  for ( std::uint32_t v = 0; v < num_vars(); ++v )
+  while ( !heap_.empty() )
   {
-    if ( assign_[v] == lbool::unassigned && activity_[v] > best_activity )
+    const auto v = heap_pop();
+    if ( branchable_[v] )
     {
-      best = v;
-      best_activity = activity_[v];
+      if ( assign_[v] == lbool::unassigned )
+      {
+        return phase_[v] ? pos_lit( v ) : neg_lit( v );
+      }
+    }
+    // Non-branchable variables are dropped lazily here.
+  }
+  // Every branchable variable is assigned.  Usually propagation has by now
+  // assigned everything else too (Tseitin cones are propagation-complete
+  // from their inputs); the scan below covers the exceptions so a model is
+  // never declared with unassigned variables.
+  for ( ; fallback_scan_from_ < assign_.size(); ++fallback_scan_from_ )
+  {
+    const auto v = static_cast<std::uint32_t>( fallback_scan_from_ );
+    if ( assign_[v] == lbool::unassigned )
+    {
+      return phase_[v] ? pos_lit( v ) : neg_lit( v );
     }
   }
-  if ( best_activity < 0.0 )
-  {
-    return 0xffffffffu; // sentinel: no unassigned variable
-  }
-  return phase_[best] ? pos_lit( best ) : neg_lit( best );
+  return 0xffffffffu; // sentinel: no unassigned variable
 }
 
 void solver::bump_var( std::uint32_t var )
@@ -289,6 +421,10 @@ void solver::bump_var( std::uint32_t var )
     }
     activity_inc_ *= 1e-100;
   }
+  if ( heap_contains( var ) )
+  {
+    heap_sift_up( static_cast<std::size_t>( heap_pos_[var] ) );
+  }
 }
 
 void solver::decay_activities()
@@ -296,7 +432,139 @@ void solver::decay_activities()
   activity_inc_ /= 0.95;
 }
 
-result solver::solve( const std::vector<literal>& assumptions, std::uint64_t conflict_budget )
+void solver::bump_clause( std::uint32_t index )
+{
+  auto& c = clauses_[index];
+  if ( !c.learnt )
+  {
+    return;
+  }
+  c.activity += clause_inc_;
+  if ( c.activity > 1e20 )
+  {
+    for ( auto& cl : clauses_ )
+    {
+      cl.activity *= 1e-20;
+    }
+    clause_inc_ *= 1e-20;
+  }
+}
+
+void solver::decay_clause_activities()
+{
+  clause_inc_ /= 0.999;
+}
+
+std::uint32_t solver::compute_lbd( const std::vector<literal>& lits )
+{
+  ++lbd_stamp_counter_;
+  std::uint32_t lbd = 0;
+  for ( const auto l : lits )
+  {
+    const auto lev = level_[lit_var( l )];
+    if ( lev >= lbd_stamp_.size() )
+    {
+      lbd_stamp_.resize( lev + 1u, 0 );
+    }
+    if ( lbd_stamp_[lev] != lbd_stamp_counter_ )
+    {
+      lbd_stamp_[lev] = lbd_stamp_counter_;
+      ++lbd;
+    }
+  }
+  return lbd;
+}
+
+void solver::reduce_db()
+{
+  assert( trail_limits_.empty() );
+  // Level-0 reasons are never dereferenced by analyze() (it skips level-0
+  // variables), so they can be dropped before clause indices are remapped.
+  for ( const auto l : trail_ )
+  {
+    reason_[lit_var( l )] = -1;
+  }
+
+  // Rank the deletable learned clauses (LBD > 2) worst-first: high LBD,
+  // then low activity.
+  std::vector<std::uint32_t> deletable;
+  for ( std::uint32_t i = 0; i < clauses_.size(); ++i )
+  {
+    if ( clauses_[i].learnt && clauses_[i].lbd > 2u )
+    {
+      deletable.push_back( i );
+    }
+  }
+  std::sort( deletable.begin(), deletable.end(), [this]( std::uint32_t a, std::uint32_t b ) {
+    if ( clauses_[a].lbd != clauses_[b].lbd )
+    {
+      return clauses_[a].lbd > clauses_[b].lbd;
+    }
+    return clauses_[a].activity < clauses_[b].activity;
+  } );
+  std::vector<bool> drop( clauses_.size(), false );
+  for ( std::size_t i = 0; i < deletable.size() / 2u; ++i )
+  {
+    drop[deletable[i]] = true;
+  }
+
+  // Compact the database, simplifying against the permanent level-0
+  // assignment on the way: satisfied clauses vanish, falsified literals are
+  // stripped.  Propagation is complete, so every surviving clause has at
+  // least two unassigned literals.
+  std::vector<clause> kept;
+  kept.reserve( clauses_.size() );
+  for ( std::uint32_t i = 0; i < clauses_.size(); ++i )
+  {
+    if ( drop[i] )
+    {
+      continue;
+    }
+    auto& c = clauses_[i];
+    bool satisfied = false;
+    std::size_t out = 0;
+    for ( std::size_t k = 0; k < c.lits.size(); ++k )
+    {
+      const auto v = value( c.lits[k] );
+      if ( v == lbool::true_value )
+      {
+        satisfied = true;
+        break;
+      }
+      if ( v == lbool::unassigned )
+      {
+        c.lits[out++] = c.lits[k];
+      }
+    }
+    if ( satisfied )
+    {
+      continue;
+    }
+    c.lits.resize( out );
+    assert( c.lits.size() >= 2u );
+    kept.push_back( std::move( c ) );
+  }
+
+  std::size_t new_learnts = 0;
+  for ( const auto& c : kept )
+  {
+    new_learnts += c.learnt ? 1u : 0u;
+  }
+  learnts_deleted_ += num_learnts_ - new_learnts;
+  num_learnts_ = new_learnts;
+  clauses_ = std::move( kept );
+  for ( auto& wl : watches_ )
+  {
+    wl.clear();
+  }
+  for ( std::uint32_t i = 0; i < clauses_.size(); ++i )
+  {
+    attach_clause( i );
+  }
+}
+
+result solver::solve( const std::vector<literal>& assumptions, std::uint64_t conflict_budget,
+                      std::uint64_t decision_budget )
 {
   if ( !ok_ )
   {
@@ -309,9 +577,15 @@ result solver::solve( const std::vector<literal>& assumptions, std::uint64_t con
     return result::unsatisfiable;
   }
 
-  std::uint64_t restart_limit = 100;
+  std::uint64_t restart_index = 1;
+  std::uint64_t restart_limit = 100u * luby( restart_index );
   std::uint64_t conflicts_since_restart = 0;
   const std::uint64_t start_conflicts = conflicts_;
+  const std::uint64_t start_decisions = decisions_;
+  if ( reduce_limit_ == 0 )
+  {
+    reduce_limit_ = std::max<std::uint64_t>( reduce_base_, clauses_.size() / 3u );
+  }
 
   for ( ;; )
   {
@@ -328,24 +602,10 @@ result solver::solve( const std::vector<literal>& assumptions, std::uint64_t con
       std::vector<literal> learnt;
       std::uint32_t backtrack_level = 0;
       analyze( conflict, learnt, backtrack_level );
-      // Never backtrack above the assumption levels.
-      const auto assumption_levels = static_cast<std::uint32_t>(
-          std::min<std::size_t>( assumptions.size(), trail_limits_.size() ) );
-      if ( backtrack_level < assumption_levels )
-      {
-        // The conflict depends only on assumptions: UNSAT under assumptions.
-        if ( learnt.size() == 1u && level_[lit_var( learnt[0] )] == 0 )
-        {
-          backtrack( 0 );
-          if ( !add_clause( { learnt[0] } ) )
-          {
-            return result::unsatisfiable;
-          }
-          continue;
-        }
-        backtrack( 0 );
-        return result::unsatisfiable;
-      }
+      // A backjump below the assumption levels pops assumptions off the
+      // trail; the loop below re-applies them in order.  (UNSAT under
+      // assumptions is detected only when re-applying a now-falsified
+      // assumption — a low backjump level alone proves nothing.)
       backtrack( backtrack_level );
       if ( learnt.size() == 1u )
       {
@@ -354,11 +614,14 @@ result solver::solve( const std::vector<literal>& assumptions, std::uint64_t con
       else
       {
         const auto index = static_cast<std::uint32_t>( clauses_.size() );
-        clauses_.push_back( { learnt } );
+        const auto lbd = compute_lbd( learnt );
+        clauses_.push_back( { learnt, clause_inc_, lbd, true } );
+        ++num_learnts_;
         attach_clause( index );
         enqueue( learnt[0], static_cast<std::int32_t>( index ) );
       }
       decay_activities();
+      decay_clause_activities();
       if ( conflict_budget != 0 && conflicts_ - start_conflicts >= conflict_budget )
       {
         backtrack( 0 );
@@ -367,8 +630,20 @@ result solver::solve( const std::vector<literal>& assumptions, std::uint64_t con
       if ( conflicts_since_restart >= restart_limit )
       {
         conflicts_since_restart = 0;
-        restart_limit = restart_limit + restart_limit / 2u;
+        ++restarts_;
+        ++restart_index;
+        restart_limit = 100u * luby( restart_index );
         backtrack( 0 );
+        if ( deletion_enabled_ && num_learnts_ > reduce_limit_ )
+        {
+          if ( propagate() >= 0 )
+          {
+            ok_ = false;
+            return result::unsatisfiable;
+          }
+          reduce_db();
+          reduce_limit_ += reduce_limit_ / 3u;
+        }
       }
       continue;
     }
@@ -391,6 +666,11 @@ result solver::solve( const std::vector<literal>& assumptions, std::uint64_t con
       continue;
     }
 
+    if ( decision_budget != 0 && decisions_ - start_decisions >= decision_budget )
+    {
+      backtrack( 0 );
+      return result::unknown;
+    }
     const auto branch = pick_branch();
     if ( branch == 0xffffffffu )
     {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <limits>
+#include <stdexcept>
 #include <unordered_map>
 
 namespace qsyn
@@ -85,6 +86,12 @@ truth_table expand_tt( const truth_table& tt, const std::vector<std::uint32_t>& 
 lut_network lut_map( const aig_network& aig, const lut_map_params& params )
 {
   const auto k = params.cut_size;
+  if ( k < 2u )
+  {
+    // Every merged cut of an AND node has >= 2 leaves; k < 2 would leave
+    // nodes without any candidate cut (and crash the cover extraction).
+    throw std::invalid_argument( "lut_map: cut_size must be at least 2" );
+  }
   const auto fanouts = aig.fanout_counts();
 
   // Per node: list of candidate cuts (first entry is the best).  Cut lists

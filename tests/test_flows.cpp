@@ -6,6 +6,7 @@
 
 #include "core/dse.hpp"
 #include "core/flows.hpp"
+#include "sat/incremental.hpp"
 #include "reversible/verify.hpp"
 #include "synth/aig_optimize.hpp"
 #include "verilog/elaborator.hpp"
@@ -296,4 +297,68 @@ TEST( flows, exorcism_toggle )
   EXPECT_TRUE( r_with.verified );
   EXPECT_TRUE( r_without.verified );
   EXPECT_LE( r_with.esop_terms, r_without.esop_terms );
+}
+
+TEST( flows, cut_size_is_a_flow_param_and_cache_axis )
+{
+  const auto mod =
+      verilog::elaborate_verilog( reciprocal_verilog( reciprocal_design::intdiv, 5 ) );
+  flow_params k4;
+  k4.kind = flow_kind::hierarchical;
+  k4.verification = verify_mode::exhaustive;
+  flow_params k3 = k4;
+  k3.cut_size = 3;
+
+  flow_artifact_cache cache;
+  const auto r4 = run_flow_staged( mod.aig, k4, cache );
+  const auto misses_after_k4 = cache.stats().misses;
+  const auto r3 = run_flow_staged( mod.aig, k3, cache );
+  const auto misses_after_k3 = cache.stats().misses;
+  // Different cut sizes are distinct XMG artifacts (a fresh miss)...
+  EXPECT_GT( misses_after_k3, misses_after_k4 );
+  // ...while re-running an already-seen cut size only hits.
+  const auto r4_again = run_flow_staged( mod.aig, k4, cache );
+  EXPECT_EQ( cache.stats().misses, misses_after_k3 );
+  // Both mappings synthesize correct circuits with their own structure.
+  EXPECT_TRUE( r4.verified );
+  EXPECT_TRUE( r3.verified );
+  EXPECT_TRUE( r4_again.verified );
+  EXPECT_EQ( r4.costs.t_count, r4_again.costs.t_count );
+  // Labels expose the non-default axis only.
+  EXPECT_EQ( dse_label( k4 ), "hierarchical(garbage)" );
+  EXPECT_EQ( dse_label( k3 ), "hierarchical(garbage,k=3)" );
+}
+
+TEST( flows, sat_tier_reuses_one_engine_across_a_sweep )
+{
+  // Every sat-mode verification of a cache-sharing sweep goes through the
+  // cache's persistent incremental engine; verdicts must match the
+  // one-shot path and the engine must have seen every check.
+  const auto mod =
+      verilog::elaborate_verilog( reciprocal_verilog( reciprocal_design::intdiv, 4 ) );
+  flow_artifact_cache cache;
+  std::size_t configs_run = 0;
+  for ( const auto cleanup :
+        { cleanup_strategy::keep_garbage, cleanup_strategy::bennett, cleanup_strategy::eager } )
+  {
+    flow_params params;
+    params.kind = flow_kind::hierarchical;
+    params.cleanup = cleanup;
+    params.verification = verify_mode::sat;
+    const auto result = run_flow_staged( mod.aig, params, cache );
+    EXPECT_TRUE( result.verified );
+    EXPECT_EQ( result.verified_with, verify_mode::sat );
+    ++configs_run;
+  }
+  EXPECT_EQ( cache.sat_engine().stats().checks, configs_run );
+}
+
+TEST( flows, cut_size_below_two_is_rejected )
+{
+  const auto mod =
+      verilog::elaborate_verilog( reciprocal_verilog( reciprocal_design::intdiv, 4 ) );
+  flow_params params;
+  params.kind = flow_kind::hierarchical;
+  params.cut_size = 1;
+  EXPECT_THROW( run_flow_on_aig( mod.aig, params ), std::invalid_argument );
 }

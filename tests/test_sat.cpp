@@ -329,3 +329,265 @@ TEST( cec, interface_mismatch_throws )
   b.add_po( b.pi( 0 ) );
   EXPECT_THROW( check_equivalence( a, b ), std::invalid_argument );
 }
+
+// --- incremental engine ------------------------------------------------------
+
+#include "sat/incremental.hpp"
+
+namespace
+{
+
+/// Random multi-output AIG over `num_pis` inputs (XOR/AND mix, random
+/// complementations) — the generator of the `cec` round-trip test, shared
+/// by the incremental-engine suites.
+aig_network random_test_aig( std::uint64_t seed, unsigned num_pis, unsigned num_pos,
+                             int num_gates = 12 )
+{
+  std::mt19937_64 gen( seed );
+  aig_network aig( num_pis );
+  std::vector<aig_lit> pool;
+  for ( unsigned i = 0; i < num_pis; ++i )
+  {
+    pool.push_back( aig.pi( i ) );
+  }
+  for ( int k = 0; k < num_gates; ++k )
+  {
+    const auto a = pool[gen() % pool.size()] ^ ( gen() & 1u );
+    const auto b = pool[gen() % pool.size()] ^ ( gen() & 1u );
+    pool.push_back( gen() & 1u ? aig.create_xor( a, b ) : aig.create_and( a, b ) );
+  }
+  for ( unsigned o = 0; o < num_pos; ++o )
+  {
+    aig.add_po( pool[gen() % pool.size()] ^ ( gen() & 1u ) );
+  }
+  return aig;
+}
+
+/// Brute-force reference: nullopt if equivalent, else the lowest-indexed
+/// output on which the networks differ for some input.
+std::optional<unsigned> lowest_differing_output( const aig_network& a, const aig_network& b )
+{
+  std::optional<unsigned> lowest;
+  std::vector<bool> inputs( a.num_pis() );
+  for ( std::uint32_t x = 0; x < ( 1u << a.num_pis() ); ++x )
+  {
+    for ( unsigned i = 0; i < a.num_pis(); ++i )
+    {
+      inputs[i] = ( x >> i ) & 1u;
+    }
+    const auto va = a.evaluate( inputs );
+    const auto vb = b.evaluate( inputs );
+    for ( unsigned o = 0; o < va.size(); ++o )
+    {
+      if ( va[o] != vb[o] && ( !lowest || o < *lowest ) )
+      {
+        lowest = o;
+      }
+    }
+  }
+  return lowest;
+}
+
+/// Checks one engine outcome against the brute-force reference: verdict,
+/// lowest-failing-output index, and counterexample round-trip through both
+/// networks at exactly that output.
+void expect_matches_brute_force( const sat::cec_outcome& outcome, const aig_network& a,
+                                 const aig_network& b, const char* context )
+{
+  const auto expected = lowest_differing_output( a, b );
+  EXPECT_EQ( outcome.equivalent, !expected.has_value() ) << context;
+  if ( expected )
+  {
+    ASSERT_TRUE( outcome.failing_output.has_value() ) << context;
+    EXPECT_EQ( *outcome.failing_output, *expected ) << context;
+    ASSERT_TRUE( outcome.counterexample.has_value() ) << context;
+    const auto va = a.evaluate( *outcome.counterexample );
+    const auto vb = b.evaluate( *outcome.counterexample );
+    EXPECT_NE( va[*expected], vb[*expected] ) << context;
+  }
+}
+
+} // namespace
+
+TEST( incremental, matches_brute_force_simulation_path )
+{
+  // Narrow designs are decided by the engine's exhaustive bit-parallel
+  // simulation pass; every verdict, failing-output index, and
+  // counterexample must match brute force.
+  std::mt19937_64 rng( 11 );
+  for ( int instance = 0; instance < 60; ++instance )
+  {
+    const unsigned num_pis = 3u + rng() % 4u;
+    const unsigned num_pos = 1u + rng() % 4u;
+    const auto a = random_test_aig( rng(), num_pis, num_pos );
+    auto b = ( instance % 3 == 0 ) ? random_test_aig( rng(), num_pis, num_pos ) : a;
+    if ( instance % 3 == 1 )
+    {
+      b.set_po( static_cast<unsigned>( rng() % num_pos ), b.po( 0 ) ^ 1u );
+    }
+    sat::incremental_cec engine;
+    const auto outcome = engine.check( a, b );
+    expect_matches_brute_force( outcome, a, b, "sim path" );
+  }
+}
+
+TEST( incremental, matches_brute_force_solver_path )
+{
+  // Forcing output_window_max_pis = 0 disables the simulation fast path,
+  // so every output goes through per-output/batched miters on the
+  // persistent solver — same contract, same expected results.
+  std::mt19937_64 rng( 23 );
+  for ( int instance = 0; instance < 60; ++instance )
+  {
+    const unsigned num_pis = 3u + rng() % 4u;
+    const unsigned num_pos = 1u + rng() % 4u;
+    const auto a = random_test_aig( rng(), num_pis, num_pos );
+    auto b = ( instance % 3 == 0 ) ? random_test_aig( rng(), num_pis, num_pos ) : a;
+    if ( instance % 3 == 1 )
+    {
+      b.set_po( static_cast<unsigned>( rng() % num_pos ), b.po( 0 ) ^ 1u );
+    }
+    sat::cec_options options;
+    options.output_window_max_pis = 0;
+    sat::incremental_cec engine( options );
+    const auto outcome = engine.check( a, b );
+    expect_matches_brute_force( outcome, a, b, "solver path" );
+  }
+}
+
+TEST( incremental, engine_reuse_matches_fresh_engines )
+{
+  // One persistent engine across many successive checks (shared structure,
+  // learned lemmas, merges) must give exactly the verdicts of a fresh
+  // engine per call.
+  std::mt19937_64 rng( 37 );
+  for ( const unsigned max_pis : { 0u, 12u } ) // solver path and sim path
+  {
+    sat::cec_options options;
+    options.output_window_max_pis = max_pis;
+    sat::incremental_cec persistent( options );
+    for ( int round = 0; round < 8; ++round )
+    {
+      const unsigned num_pis = 4u + rng() % 3u;
+      const unsigned num_pos = 1u + rng() % 3u;
+      const auto a = random_test_aig( rng(), num_pis, num_pos, 16 );
+      auto b = ( round & 1 ) ? random_test_aig( rng(), num_pis, num_pos, 16 ) : a;
+      if ( round % 4 == 2 )
+      {
+        b.set_po( 0, b.po( 0 ) ^ 1u );
+      }
+      const auto reused = persistent.check( a, b );
+      sat::incremental_cec fresh( options );
+      const auto baseline = fresh.check( a, b );
+      EXPECT_EQ( reused.equivalent, baseline.equivalent ) << "round " << round;
+      EXPECT_EQ( reused.failing_output, baseline.failing_output ) << "round " << round;
+      expect_matches_brute_force( reused, a, b, "reused engine" );
+    }
+    EXPECT_GE( persistent.stats().checks, 8u );
+  }
+}
+
+TEST( incremental, clause_deletion_on_off_agreement )
+{
+  // Learned-clause deletion is performance-only: with a tiny reduce base
+  // (forcing frequent database reductions) the verdicts on randomized
+  // miters must match the deletion-free engine exactly.
+  std::mt19937_64 rng( 51 );
+  sat::cec_options with_deletion;
+  with_deletion.output_window_max_pis = 0; // force the solver path
+  with_deletion.clause_deletion = true;
+  with_deletion.reduce_base = 8; // reduce constantly on these small miters
+  sat::cec_options without_deletion = with_deletion;
+  without_deletion.clause_deletion = false;
+  sat::incremental_cec engine_del( with_deletion );
+  sat::incremental_cec engine_keep( without_deletion );
+  for ( int instance = 0; instance < 40; ++instance )
+  {
+    const unsigned num_pis = 4u + rng() % 3u;
+    const unsigned num_pos = 1u + rng() % 3u;
+    const auto a = random_test_aig( rng(), num_pis, num_pos, 20 );
+    auto b = ( instance & 1 ) ? random_test_aig( rng(), num_pis, num_pos, 20 ) : a;
+    const auto del = engine_del.check( a, b );
+    const auto keep = engine_keep.check( a, b );
+    EXPECT_EQ( del.equivalent, keep.equivalent ) << "instance " << instance;
+    EXPECT_EQ( del.failing_output, keep.failing_output ) << "instance " << instance;
+    expect_matches_brute_force( del, a, b, "deletion on" );
+    expect_matches_brute_force( keep, a, b, "deletion off" );
+  }
+}
+
+TEST( incremental, option_variants_agree )
+{
+  // Fraiging on/off, SAT-backed fraig budgets, input-only decisions, and
+  // the per-output-first strategy are performance knobs; all must agree
+  // with brute force on randomized pairs.
+  std::mt19937_64 rng( 77 );
+  std::vector<sat::cec_options> variants;
+  {
+    sat::cec_options o;
+    o.output_window_max_pis = 0;
+    o.fraiging = false;
+    variants.push_back( o );
+  }
+  {
+    sat::cec_options o;
+    o.output_window_max_pis = 0;
+    o.fraig_conflict_budget = 50; // SAT-backed fraig + cex refinement
+    o.num_sig_words = 1;          // provoke false candidates -> refinement
+    variants.push_back( o );
+  }
+  {
+    sat::cec_options o;
+    o.output_window_max_pis = 0;
+    o.decide_inputs_only = true;
+    variants.push_back( o );
+  }
+  {
+    sat::cec_options o;
+    o.output_window_max_pis = 0;
+    o.per_output_node_threshold = 0; // per-output miters first
+    variants.push_back( o );
+  }
+  for ( std::size_t v = 0; v < variants.size(); ++v )
+  {
+    sat::incremental_cec engine( variants[v] );
+    std::mt19937_64 instance_rng( 400 + v ); // same instances per variant
+    for ( int instance = 0; instance < 20; ++instance )
+    {
+      const unsigned num_pis = 4u + instance_rng() % 3u;
+      const unsigned num_pos = 1u + instance_rng() % 3u;
+      const auto a = random_test_aig( instance_rng(), num_pis, num_pos, 18 );
+      auto b = ( instance & 1 ) ? random_test_aig( instance_rng(), num_pis, num_pos, 18 ) : a;
+      const auto outcome = engine.check( a, b );
+      expect_matches_brute_force( outcome, a, b, "variant" );
+    }
+  }
+}
+
+TEST( incremental, interface_mismatch_throws )
+{
+  aig_network a( 2 );
+  a.add_po( a.pi( 0 ) );
+  aig_network b( 3 );
+  b.add_po( b.pi( 0 ) );
+  sat::incremental_cec engine;
+  EXPECT_THROW( engine.check( a, b ), std::invalid_argument );
+  aig_network c( 2 );
+  c.add_po( c.pi( 0 ) );
+  c.add_po( c.pi( 1 ) );
+  EXPECT_THROW( engine.check( a, c ), std::invalid_argument );
+}
+
+TEST( incremental, mixed_interface_sizes_on_one_engine )
+{
+  // The engine may be reused across designs with different PI/PO counts;
+  // PIs are extended on demand and earlier structure stays valid.
+  sat::incremental_cec engine;
+  const auto small_a = random_test_aig( 1, 3, 2 );
+  const auto small_b = random_test_aig( 2, 3, 2 );
+  const auto wide_a = random_test_aig( 3, 6, 3, 20 );
+  const auto wide_b = random_test_aig( 4, 6, 3, 20 );
+  expect_matches_brute_force( engine.check( small_a, small_b ), small_a, small_b, "small" );
+  expect_matches_brute_force( engine.check( wide_a, wide_b ), wide_a, wide_b, "wide" );
+  expect_matches_brute_force( engine.check( small_a, small_a ), small_a, small_a, "repeat" );
+}
