@@ -13,6 +13,14 @@
 ///
 /// Usage: bench_dse [--out FILE] [--quick] [--max N] [--threads N] [--no-verify]
 ///                  [--verify-mode sampled|exhaustive|sat]
+///                  [--deadline-ms N] [--sat-conflict-budget N]
+///
+/// `--deadline-ms` arms a per-configuration wall-clock deadline and
+/// `--sat-conflict-budget` caps the SAT verifier's conflicts; both default
+/// to 0 (unlimited), which keeps the committed baseline bit-identical.
+/// They exist for robustness experiments — a budgeted run reports
+/// non-`ok` point statuses instead of hanging, and its cost numbers are
+/// not comparable against the baseline gates.
 ///
 /// Verification runs through the tiered engine (`verify_mode`): 64-way
 /// bit-parallel sampled simulation by default, exhaustive enumeration or a
@@ -23,6 +31,7 @@
 /// only for wall-clock continuity of the committed baseline.)
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -50,6 +59,7 @@ struct case_result
   double verify_s = 0.0; ///< cached-path verification seconds, summed
   bool identical = true;
   bool all_verified = true;
+  std::size_t non_ok_points = 0; ///< degraded/timed_out/failed points (both paths)
 };
 
 bool points_identical( const std::vector<dse_point>& a, const std::vector<dse_point>& b )
@@ -71,7 +81,8 @@ bool points_identical( const std::vector<dse_point>& a, const std::vector<dse_po
 }
 
 case_result run_case( reciprocal_design design, unsigned n, bool include_functional,
-                      bool verify, verify_mode mode, unsigned num_threads )
+                      bool verify, verify_mode mode, unsigned num_threads,
+                      const budget& limits )
 {
   case_result r;
   r.name = ( design == reciprocal_design::intdiv ? "intdiv-n" : "newton-n" ) + std::to_string( n );
@@ -83,6 +94,7 @@ case_result run_case( reciprocal_design design, unsigned n, bool include_functio
   {
     c.verify = verify;
     c.verification = mode;
+    c.limits = limits;
   }
   r.num_configs = configs.size();
 
@@ -106,6 +118,19 @@ case_result run_case( reciprocal_design design, unsigned n, bool include_functio
   r.cache_misses = cache.stats().misses;
 
   r.identical = points_identical( seq_points, cached_points );
+  for ( const auto* pts : { &seq_points, &cached_points } )
+  {
+    for ( const auto& p : *pts )
+    {
+      if ( p.result.status != flow_status::ok )
+      {
+        ++r.non_ok_points;
+        std::printf( "  %-24s %s: %s\n", p.label.c_str(),
+                     flow_status_name( p.result.status ).c_str(),
+                     p.result.status_detail.c_str() );
+      }
+    }
+  }
   if ( verify )
   {
     for ( const auto& p : cached_points )
@@ -194,6 +219,7 @@ int main( int argc, char** argv )
   verify_mode mode = verify_mode::sampled;
   unsigned num_threads = 0; // hardware concurrency
   unsigned max_n = 7;
+  budget limits;
   for ( int i = 1; i < argc; ++i )
   {
     if ( std::strcmp( argv[i], "--out" ) == 0 && i + 1 < argc )
@@ -228,6 +254,14 @@ int main( int argc, char** argv )
     {
       num_threads = static_cast<unsigned>( std::atoi( argv[++i] ) );
     }
+    else if ( std::strcmp( argv[i], "--deadline-ms" ) == 0 && i + 1 < argc )
+    {
+      limits.deadline_seconds = std::atof( argv[++i] ) / 1000.0;
+    }
+    else if ( std::strcmp( argv[i], "--sat-conflict-budget" ) == 0 && i + 1 < argc )
+    {
+      limits.sat_conflict_budget = static_cast<std::uint64_t>( std::atoll( argv[++i] ) );
+    }
   }
 
   if ( quick )
@@ -245,7 +279,7 @@ int main( int argc, char** argv )
     for ( const auto design : { reciprocal_design::intdiv, reciprocal_design::newton } )
     {
       cases.push_back(
-          run_case( design, n, n <= functional_max_n, verify, mode, num_threads ) );
+          run_case( design, n, n <= functional_max_n, verify, mode, num_threads, limits ) );
     }
   }
 

@@ -16,7 +16,14 @@
 #   * docs/ARCHITECTURE.md is missing or no longer mentions every src/*
 #     subdirectory.
 # Finally reruns the verification test suite under AddressSanitizer
-# (QSYN_SANITIZE=address) — the block engine is all raw word indexing.
+# (QSYN_SANITIZE=address) — the block engine is all raw word indexing —
+# and the robustness suite (budgets, cancellation, fault injection) under
+# UndefinedBehaviorSanitizer and ThreadSanitizer.
+#
+# Every benchmark invocation runs inside a hard `timeout` ceiling
+# (BENCH_TIMEOUT seconds, default 1200): a hung benchmark is exactly the
+# failure mode the budget machinery guards against, so it must fail this
+# gate with a diagnostic instead of wedging the run.
 #
 # Usage: scripts/run_bench.sh [--quick]
 #   --quick   run the reduced workload sets (faster; compares only the
@@ -33,6 +40,22 @@ if [[ "${1:-}" == "--quick" ]]; then
   QUICK_ARGS+=(--quick)
 fi
 
+BENCH_TIMEOUT="${BENCH_TIMEOUT:-1200}"
+run_bench() {
+  local label="$1"
+  shift
+  local status=0
+  timeout --kill-after=30 "$BENCH_TIMEOUT" "$@" || status=$?
+  if [[ $status -eq 124 || $status -eq 137 ]]; then
+    echo "BENCH TIMEOUT: $label did not finish within the ${BENCH_TIMEOUT}s hard ceiling" \
+         "(command: $*)" >&2
+    exit 1
+  elif [[ $status -ne 0 ]]; then
+    echo "BENCH FAILED: $label exited with status $status (command: $*)" >&2
+    exit 1
+  fi
+}
+
 cmake -B "$BUILD_DIR" -S "$REPO_ROOT" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_esop bench_dse bench_verify
 
@@ -40,7 +63,7 @@ cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_esop bench_dse bench_ver
 
 BASELINE="$REPO_ROOT/BENCH_esop.json"
 FRESH="$BUILD_DIR/BENCH_esop.json"
-"$BUILD_DIR/bench/bench_esop" --out "$FRESH" "${QUICK_ARGS[@]}"
+run_bench bench_esop "$BUILD_DIR/bench/bench_esop" --out "$FRESH" "${QUICK_ARGS[@]}"
 
 if [[ ! -f "$BASELINE" ]]; then
   echo "No committed baseline at $BASELINE; copy $FRESH there to create one."
@@ -90,7 +113,7 @@ DSE_BASELINE="$REPO_ROOT/BENCH_dse.json"
 DSE_FRESH="$BUILD_DIR/BENCH_dse.json"
 # --threads 1: the gate measures the caching engine; thread-count
 # differences between machines must not mask (or fake) a regression.
-"$BUILD_DIR/bench/bench_dse" --threads 1 --out "$DSE_FRESH" "${QUICK_ARGS[@]}"
+run_bench bench_dse "$BUILD_DIR/bench/bench_dse" --threads 1 --out "$DSE_FRESH" "${QUICK_ARGS[@]}"
 
 if [[ ! -f "$DSE_BASELINE" ]]; then
   echo "No committed baseline at $DSE_BASELINE; copy $DSE_FRESH there to create one."
@@ -170,7 +193,7 @@ EOF
 
 VERIFY_BASELINE="$REPO_ROOT/BENCH_verify.json"
 VERIFY_FRESH="$BUILD_DIR/BENCH_verify.json"
-"$BUILD_DIR/bench/bench_verify" --out "$VERIFY_FRESH" "${QUICK_ARGS[@]}"
+run_bench bench_verify "$BUILD_DIR/bench/bench_verify" --out "$VERIFY_FRESH" "${QUICK_ARGS[@]}"
 
 if [[ ! -f "$VERIFY_BASELINE" ]]; then
   echo "No committed baseline at $VERIFY_BASELINE; copy $VERIFY_FRESH there to create one."
@@ -313,3 +336,23 @@ cmake --build "$ASAN_DIR" -j "$(nproc)" --target test_verify
 "$ASAN_DIR/tests/test_verify"
 echo
 echo "test_verify OK under AddressSanitizer"
+
+# --- robustness tests under UBSan and TSan -----------------------------------
+# The budget/cancellation/fault-injection paths are counter arithmetic,
+# atomics and cross-thread exception plumbing: run the robustness suite
+# instrumented for undefined behaviour and for data races on every bench
+# invocation.
+
+UBSAN_DIR="$REPO_ROOT/build-ubsan-robustness"
+cmake -B "$UBSAN_DIR" -S "$REPO_ROOT" -DCMAKE_BUILD_TYPE=Release -DQSYN_SANITIZE=undefined
+cmake --build "$UBSAN_DIR" -j "$(nproc)" --target test_robustness
+"$UBSAN_DIR/tests/test_robustness"
+echo
+echo "test_robustness OK under UndefinedBehaviorSanitizer"
+
+TSAN_DIR="$REPO_ROOT/build-tsan-robustness"
+cmake -B "$TSAN_DIR" -S "$REPO_ROOT" -DCMAKE_BUILD_TYPE=Release -DQSYN_SANITIZE=thread
+cmake --build "$TSAN_DIR" -j "$(nproc)" --target test_robustness
+"$TSAN_DIR/tests/test_robustness"
+echo
+echo "test_robustness OK under ThreadSanitizer"

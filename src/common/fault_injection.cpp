@@ -1,0 +1,102 @@
+#include "fault_injection.hpp"
+
+#include <atomic>
+#include <map>
+#include <mutex>
+
+#include "budget.hpp"
+
+namespace qsyn::fault_injection
+{
+
+namespace
+{
+
+struct site_state
+{
+  kind k = kind::fail;
+  std::uint64_t after_hits = 0;
+  std::int64_t times = -1;
+  std::uint64_t polls = 0;
+  std::uint64_t fired = 0;
+};
+
+std::mutex registry_mutex;
+std::map<std::string, site_state>& registry()
+{
+  static std::map<std::string, site_state> sites;
+  return sites;
+}
+
+/// Fast-path guard: production flows never take the mutex unless a test
+/// has armed at least one site.
+std::atomic<bool> any_armed{ false };
+
+} // namespace
+
+void arm( const std::string& site, kind k, std::uint64_t after_hits, std::int64_t times )
+{
+  const std::lock_guard<std::mutex> guard( registry_mutex );
+  site_state& s = registry()[site];
+  s.k = k;
+  s.after_hits = after_hits;
+  s.times = times;
+  s.polls = 0;
+  s.fired = 0;
+  any_armed.store( true, std::memory_order_release );
+}
+
+void disarm_all()
+{
+  const std::lock_guard<std::mutex> guard( registry_mutex );
+  registry().clear();
+  any_armed.store( false, std::memory_order_release );
+}
+
+std::uint64_t hits( const std::string& site )
+{
+  const std::lock_guard<std::mutex> guard( registry_mutex );
+  const auto it = registry().find( site );
+  return it == registry().end() ? 0u : it->second.polls;
+}
+
+bool poll( const char* site )
+{
+  if ( !any_armed.load( std::memory_order_acquire ) )
+  {
+    return false;
+  }
+  kind fired_kind;
+  {
+    const std::lock_guard<std::mutex> guard( registry_mutex );
+    const auto it = registry().find( site );
+    if ( it == registry().end() )
+    {
+      return false;
+    }
+    site_state& s = it->second;
+    ++s.polls;
+    if ( s.polls <= s.after_hits )
+    {
+      return false;
+    }
+    if ( s.times >= 0 && s.fired >= static_cast<std::uint64_t>( s.times ) )
+    {
+      return false;
+    }
+    ++s.fired;
+    fired_kind = s.k;
+  }
+  switch ( fired_kind )
+  {
+  case kind::fail:
+    throw injected_fault( std::string( "injected fault at " ) + site );
+  case kind::timeout:
+    throw budget_exhausted( std::string( "injected timeout at " ) + site );
+  case kind::trip:
+    return true;
+  }
+  return false;
+}
+
+} // namespace qsyn::fault_injection

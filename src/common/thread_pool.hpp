@@ -5,8 +5,15 @@
 /// `num_threads <= 1` no worker threads are started and `submit` runs the
 /// job inline, so the sequential and parallel code paths share one call
 /// site and the sequential path stays deterministic and overhead-free.
-/// The first exception thrown by any job is captured and rethrown from
-/// `wait()` (subsequent jobs still run; their exceptions are dropped).
+/// Every exception thrown by a job is captured; `wait_all()` returns the
+/// full batch, `wait()` rethrows the first and drops the rest (legacy
+/// call sites that treat any job failure as fatal).
+///
+/// The pool also carries a `cancellation_token`.  `cancel()` flips it;
+/// jobs that poll a `deadline` built from `pool.cancellation()` stop
+/// promptly.  The pool itself never drops queued jobs — accounting for
+/// cancelled work stays with the caller, which keeps per-design status
+/// records accurate.
 
 #pragma once
 
@@ -17,6 +24,8 @@
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "budget.hpp"
 
 namespace qsyn
 {
@@ -70,25 +79,38 @@ public:
     wake_workers_.notify_one();
   }
 
+  /// Blocks until every submitted job has finished and returns every
+  /// exception the batch threw (in completion order), clearing the
+  /// collected set.
+  [[nodiscard]] std::vector<std::exception_ptr> wait_all()
+  {
+    std::unique_lock<std::mutex> lock( mutex_ );
+    idle_.wait( lock, [this] { return outstanding_ == 0u; } );
+    std::vector<std::exception_ptr> errors;
+    errors.swap( errors_ );
+    return errors;
+  }
+
   /// Blocks until every submitted job has finished, then rethrows the
-  /// first job exception (if any).
+  /// first job exception (if any); later exceptions from the batch are
+  /// discarded.
   void wait()
   {
+    const auto errors = wait_all();
+    if ( !errors.empty() )
     {
-      std::unique_lock<std::mutex> lock( mutex_ );
-      idle_.wait( lock, [this] { return outstanding_ == 0u; } );
-    }
-    std::exception_ptr error;
-    {
-      std::unique_lock<std::mutex> lock( mutex_ );
-      error = first_error_;
-      first_error_ = nullptr;
-    }
-    if ( error )
-    {
-      std::rethrow_exception( error );
+      std::rethrow_exception( errors.front() );
     }
   }
+
+  /// Requests cancellation of in-flight work.  Jobs observe this through
+  /// deadlines built from `cancellation()`; the queue is not dropped.
+  void cancel() noexcept { cancel_token_.request_cancel(); }
+
+  [[nodiscard]] bool cancelled() const noexcept { return cancel_token_.cancelled(); }
+
+  /// The pool's cancellation token, for composing job deadlines.
+  [[nodiscard]] cancellation_token cancellation() const { return cancel_token_; }
 
   /// Number of worker threads (0 = inline execution).
   unsigned num_workers() const { return static_cast<unsigned>( workers_.size() ); }
@@ -110,10 +132,7 @@ private:
     catch ( ... )
     {
       std::unique_lock<std::mutex> lock( mutex_ );
-      if ( !first_error_ )
-      {
-        first_error_ = std::current_exception();
-      }
+      errors_.push_back( std::current_exception() );
     }
   }
 
@@ -150,7 +169,8 @@ private:
   std::condition_variable idle_;
   std::size_t outstanding_ = 0;
   bool stopping_ = false;
-  std::exception_ptr first_error_;
+  std::vector<std::exception_ptr> errors_;
+  cancellation_token cancel_token_;
 };
 
 } // namespace qsyn

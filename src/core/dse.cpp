@@ -1,9 +1,11 @@
 #include "dse.hpp"
 
 #include <algorithm>
+#include <exception>
 #include <iomanip>
 #include <sstream>
 
+#include "../common/fault_injection.hpp"
 #include "../common/thread_pool.hpp"
 #include "../common/timer.hpp"
 #include "../verilog/elaborator.hpp"
@@ -81,18 +83,44 @@ unsigned resolve_num_threads( const explore_options& options )
 /// optionally through a shared artifact cache and on a thread pool.  Slots
 /// are written by index, so the result ordering (and, since every tail is
 /// deterministic, every cost number) is identical to the sequential path.
+///
+/// Fault tolerance: a configuration that throws — in its prefetched stage
+/// or in its tail — is isolated into its own point's `result.status`
+/// (`timed_out` for budget expiry, `failed` otherwise); the other
+/// configurations are unaffected and the full ordered point list is always
+/// returned.
 std::vector<dse_point> explore_impl( const aig_network& aig,
                                      const std::vector<flow_params>& configs,
                                      const explore_options& options,
-                                     flow_artifact_cache* cache )
+                                     flow_artifact_cache* cache, const deadline& stop )
 {
   std::vector<dse_point> points( configs.size() );
+  // One deadline per configuration, armed up front so it covers both the
+  // prefetched stage and the synthesis tail of that configuration.
+  std::vector<deadline> stops;
+  stops.reserve( configs.size() );
+  for ( const auto& params : configs )
+  {
+    stops.push_back( stop.tightened( params.limits.deadline_seconds ) );
+  }
+  // A stage failure during prefetch belongs to the configurations that
+  // depend on that stage: record it per slot and rethrow it from the slot's
+  // job below.  (Recomputing in the job instead would let a one-shot
+  // injected fault pass on retry and hide the failure.)
+  std::vector<std::exception_ptr> stage_errors( configs.size() );
   if ( cache )
   {
     // Fill the shared stages up front so the concurrent tails only hit.
-    for ( const auto& params : configs )
+    for ( std::size_t i = 0; i < configs.size(); ++i )
     {
-      cache->prefetch( aig, params );
+      try
+      {
+        cache->prefetch( aig, configs[i], stops[i] );
+      }
+      catch ( ... )
+      {
+        stage_errors[i] = std::current_exception();
+      }
     }
   }
 
@@ -105,17 +133,45 @@ std::vector<dse_point> explore_impl( const aig_network& aig,
       auto& point = points[i];
       point.label = dse_label( configs[i] );
       point.params = configs[i];
-      if ( cache )
+      try
       {
-        point.result = run_flow_staged( aig, configs[i], *cache );
+        if ( stage_errors[i] )
+        {
+          std::rethrow_exception( stage_errors[i] );
+        }
+        if ( stops[i].expired() )
+        {
+          throw budget_exhausted( "deadline expired before the configuration started" );
+        }
+        if ( cache )
+        {
+          point.result = run_flow_staged( aig, configs[i], *cache, stops[i] );
+        }
+        else
+        {
+          flow_artifact_cache local;
+          point.result = run_flow_staged( aig, configs[i], local, stops[i] );
+        }
       }
-      else
+      catch ( const budget_exhausted& e )
       {
-        point.result = run_flow_on_aig( aig, configs[i] );
+        point.result.status = flow_status::timed_out;
+        point.result.status_detail = e.what();
+      }
+      catch ( const std::exception& e )
+      {
+        point.result.status = flow_status::failed;
+        point.result.status_detail = e.what();
       }
     } );
   }
-  pool.wait();
+  // Jobs convert every expected failure into a status record; anything
+  // still surfacing here is a programming error and worth a loud rethrow.
+  const auto errors = pool.wait_all();
+  if ( !errors.empty() )
+  {
+    std::rethrow_exception( errors.front() );
+  }
   return points;
 }
 
@@ -129,24 +185,57 @@ std::vector<dse_point> explore( const aig_network& aig, const std::vector<flow_p
 std::vector<dse_point> explore( const aig_network& aig, const std::vector<flow_params>& configs,
                                 const explore_options& options )
 {
+  const auto stop = deadline::in( options.sweep_deadline_seconds );
   if ( !options.use_cache )
   {
-    return explore_impl( aig, configs, options, nullptr );
+    return explore_impl( aig, configs, options, nullptr, stop );
   }
   flow_artifact_cache cache;
-  return explore_impl( aig, configs, options, &cache );
+  return explore_impl( aig, configs, options, &cache, stop );
 }
 
 std::vector<dse_point> explore( const aig_network& aig, const std::vector<flow_params>& configs,
                                 const explore_options& options, flow_artifact_cache& cache )
 {
-  return explore_impl( aig, configs, options, &cache );
+  return explore_impl( aig, configs, options, &cache,
+                       deadline::in( options.sweep_deadline_seconds ) );
 }
+
+std::vector<dse_point> explore( const aig_network& aig, const std::vector<flow_params>& configs,
+                                const explore_options& options, flow_artifact_cache& cache,
+                                const deadline& stop )
+{
+  return explore_impl( aig, configs, options, &cache, stop );
+}
+
+namespace
+{
+
+/// Severity order of the status taxonomy (worst wins when aggregating the
+/// points of one design).
+int status_severity( flow_status status )
+{
+  switch ( status )
+  {
+  case flow_status::ok:
+    return 0;
+  case flow_status::degraded:
+    return 1;
+  case flow_status::timed_out:
+    return 2;
+  case flow_status::failed:
+    return 3;
+  }
+  return 0;
+}
+
+} // namespace
 
 std::vector<design_exploration> explore_designs( const std::vector<reciprocal_design>& designs,
                                                  unsigned min_bitwidth, unsigned max_bitwidth,
                                                  const explore_options& options )
 {
+  const auto sweep_stop = deadline::in( options.sweep_deadline_seconds );
   std::vector<design_exploration> explorations;
   for ( unsigned n = min_bitwidth; n <= max_bitwidth; ++n )
   {
@@ -158,23 +247,54 @@ std::vector<design_exploration> explore_designs( const std::vector<reciprocal_de
       entry.name = ( design == reciprocal_design::intdiv ? "INTDIV(" : "NEWTON(" ) +
                    std::to_string( n ) + ")";
       stopwatch watch;
-      const auto mod = verilog::elaborate_verilog( reciprocal_verilog( design, n ) );
-      auto configs =
-          default_dse_configurations( n <= options.functional_max_bitwidth );
-      for ( auto& config : configs )
+      // Per-design failure isolation: elaboration errors and sweep-budget
+      // expiry become this design's status record; the sweep continues
+      // with the next design either way.
+      try
       {
-        config.verify = options.verification != verify_mode::none;
-        config.verification = options.verification;
+        if ( sweep_stop.expired() )
+        {
+          throw budget_exhausted( "sweep deadline expired before the design started" );
+        }
+        fault_injection::poll( "dse.elaborate" );
+        const auto mod =
+            verilog::elaborate_verilog( reciprocal_verilog( design, n ), entry.name );
+        auto configs =
+            default_dse_configurations( n <= options.functional_max_bitwidth );
+        for ( auto& config : configs )
+        {
+          config.verify = options.verification != verify_mode::none;
+          config.verification = options.verification;
+          config.limits = options.limits;
+        }
+        if ( options.use_cache )
+        {
+          flow_artifact_cache cache;
+          entry.points = explore( mod.aig, configs, options, cache, sweep_stop );
+          entry.cache = cache.stats();
+        }
+        else
+        {
+          entry.points = explore_impl( mod.aig, configs, options, nullptr, sweep_stop );
+        }
+        for ( const auto& point : entry.points )
+        {
+          if ( status_severity( point.result.status ) > status_severity( entry.status ) )
+          {
+            entry.status = point.result.status;
+            entry.status_detail = point.label + ": " + point.result.status_detail;
+          }
+        }
       }
-      if ( options.use_cache )
+      catch ( const budget_exhausted& e )
       {
-        flow_artifact_cache cache;
-        entry.points = explore( mod.aig, configs, options, cache );
-        entry.cache = cache.stats();
+        entry.status = flow_status::timed_out;
+        entry.status_detail = e.what();
       }
-      else
+      catch ( const std::exception& e )
       {
-        entry.points = explore( mod.aig, configs, options );
+        entry.status = flow_status::failed;
+        entry.status_detail = e.what();
       }
       entry.wall_seconds = watch.elapsed_seconds();
       explorations.push_back( std::move( entry ) );

@@ -49,6 +49,14 @@ struct explore_options
   /// (`explore_designs` only; `explore` takes fully-specified configs).
   /// `verify_mode::none` disables verification for the whole sweep.
   verify_mode verification = verify_mode::sampled;
+  /// Per-flow resource limits stamped onto every swept configuration
+  /// (`explore_designs` only; `explore` takes fully-specified configs).
+  budget limits;
+  /// Global wall-clock budget of the whole sweep (0 = unlimited).  Every
+  /// per-design/per-flow deadline is tightened against it, so an exhausted
+  /// sweep budget stops the remaining designs promptly — each with a
+  /// `timed_out` record, never a hang or an abort.
+  double sweep_deadline_seconds = 0.0;
 };
 
 /// The default configuration sweep: functional, ESOP p=0/1/2, hierarchical
@@ -67,6 +75,14 @@ std::vector<dse_point> explore( const aig_network& aig, const std::vector<flow_p
 /// into) a caller-owned cache, which must be used for one design only.
 std::vector<dse_point> explore( const aig_network& aig, const std::vector<flow_params>& configs,
                                 const explore_options& options, flow_artifact_cache& cache );
+/// As above under an externally armed deadline (e.g. the sweep deadline of
+/// `explore_designs`); each configuration's own `limits.deadline_seconds`
+/// tightens it further.  A configuration hitting its budget or throwing is
+/// isolated into its point's `result.status` — the exploration always
+/// returns a full, ordered point list.
+std::vector<dse_point> explore( const aig_network& aig, const std::vector<flow_params>& configs,
+                                const explore_options& options, flow_artifact_cache& cache,
+                                const deadline& stop );
 
 /// One design of a batch exploration.
 struct design_exploration
@@ -77,12 +93,20 @@ struct design_exploration
   std::vector<dse_point> points;
   cache_stats cache;          ///< stage-artifact hit/miss counters
   double wall_seconds = 0.0;  ///< elaboration + full sweep wall clock
+  /// Design-level outcome: `failed`/`timed_out` when elaboration threw or
+  /// the sweep budget was gone before the design started (points is then
+  /// empty), otherwise the worst point status.  The sweep always completes
+  /// — one pathological design never takes the batch down.
+  flow_status status = flow_status::ok;
+  std::string status_detail;
 };
 
 /// Batch exploration: sweeps every design in `designs` for every bitwidth
 /// in [min_bitwidth, max_bitwidth] with `default_dse_configurations`
 /// (functional included up to `options.functional_max_bitwidth`).  Each
-/// design gets its own artifact cache.
+/// design gets its own artifact cache.  Failures and budget expiries are
+/// isolated per design (and per configuration) into status records; the
+/// returned batch is always complete and ordered.
 std::vector<design_exploration> explore_designs( const std::vector<reciprocal_design>& designs,
                                                  unsigned min_bitwidth, unsigned max_bitwidth,
                                                  const explore_options& options = {} );

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "../common/fault_injection.hpp"
 #include "../common/timer.hpp"
 #include "../reversible/verify.hpp"
 #include "../sat/incremental.hpp"
@@ -27,6 +28,22 @@ std::string verify_mode_name( verify_mode mode )
     return "exhaustive";
   case verify_mode::sat:
     return "sat";
+  }
+  return "unknown";
+}
+
+std::string flow_status_name( flow_status status )
+{
+  switch ( status )
+  {
+  case flow_status::ok:
+    return "ok";
+  case flow_status::degraded:
+    return "degraded";
+  case flow_status::timed_out:
+    return "timed_out";
+  case flow_status::failed:
+    return "failed";
   }
   return "unknown";
 }
@@ -59,7 +76,7 @@ namespace
 /// variables are placed on the low lines, the outputs on the high lines
 /// (the embedding's layout); line metadata reflects Eq. (1).
 flow_result functional_tail( const flow_artifact_cache::functional_artifact& art,
-                             const flow_params& params )
+                             const flow_params& params, const deadline& stop )
 {
   flow_result result;
   result.embedding_lines = art.embed.num_lines;
@@ -67,6 +84,7 @@ flow_result functional_tail( const flow_artifact_cache::functional_artifact& art
 
   tbs_params tparams;
   tparams.bidirectional = params.bidirectional_tbs;
+  tparams.stop = stop;
   result.circuit = tbs_synthesize( art.embed.permutation, tparams );
 
   // Line metadata: inputs on the low n lines, outputs on the high m lines.
@@ -127,10 +145,22 @@ const aig_network& flow_artifact_cache::optimized_locked( const aig_network& aig
   const auto it = optimized_.find( rounds );
   if ( it != optimized_.end() )
   {
+    // An injected "cache.hit" trip forces this hit to behave like a miss:
+    // the stage recomputes (and the recomputation is discarded — the
+    // cached artifact is never replaced, so concurrent readers holding
+    // references stay safe) and the miss is counted.
+    if ( fault_injection::poll( "cache.hit" ) )
+    {
+      ++stats_.misses;
+      const auto discarded = optimize( aig, rounds );
+      (void)discarded;
+      return it->second;
+    }
     ++stats_.hits;
     return it->second;
   }
   ++stats_.misses;
+  fault_injection::poll( "flow.optimize" );
   return optimized_.emplace( rounds, optimize( aig, rounds ) ).first->second;
 }
 
@@ -152,6 +182,7 @@ flow_artifact_cache::functional_intermediate( const aig_network& aig, unsigned r
   }
   const auto& opt = optimized_locked( aig, rounds );
   ++stats_.misses;
+  fault_injection::poll( "flow.collapse" );
   functional_artifact art;
   art.outputs = collapse_to_truth_tables( opt );
   art.embed = embed_optimum( art.outputs );
@@ -160,7 +191,8 @@ flow_artifact_cache::functional_intermediate( const aig_network& aig, unsigned r
 
 const flow_artifact_cache::esop_artifact&
 flow_artifact_cache::esop_intermediate( const aig_network& aig, unsigned rounds,
-                                        bool run_exorcism )
+                                        bool run_exorcism,
+                                        const exorcism_params& minimize_limits )
 {
   std::lock_guard<std::mutex> lock( mutex_ );
   const auto key = std::make_pair( rounds, run_exorcism );
@@ -172,11 +204,13 @@ flow_artifact_cache::esop_intermediate( const aig_network& aig, unsigned rounds,
   }
   const auto& opt = optimized_locked( aig, rounds );
   ++stats_.misses;
+  fault_injection::poll( "flow.esop" );
   esop_artifact art;
   art.expression = esop_from_aig( opt );
   if ( run_exorcism )
   {
-    exorcism( art.expression );
+    const auto mstats = exorcism( art.expression, minimize_limits );
+    art.budget_exhausted = mstats.budget_exhausted;
   }
   art.terms = art.expression.num_terms();
   return esops_.emplace( key, std::move( art ) ).first->second;
@@ -196,6 +230,7 @@ flow_artifact_cache::xmg_intermediate( const aig_network& aig, unsigned rounds,
   }
   const auto& opt = optimized_locked( aig, rounds );
   ++stats_.misses;
+  fault_injection::poll( "flow.xmg" );
   xmg_artifact art;
   art.graph = xmg_from_aig( opt, cut_size, &art.stats );
   return xmgs_.emplace( key, std::move( art ) ).first->second;
@@ -211,7 +246,8 @@ sat::incremental_cec& flow_artifact_cache::sat_engine()
   return *sat_engine_;
 }
 
-void flow_artifact_cache::prefetch( const aig_network& aig, const flow_params& params )
+void flow_artifact_cache::prefetch( const aig_network& aig, const flow_params& params,
+                                    const deadline& stop )
 {
   // Each stage intermediate computes the optimized AIG itself on a miss,
   // so no separate optimized() access (it would only skew the counters).
@@ -221,8 +257,13 @@ void flow_artifact_cache::prefetch( const aig_network& aig, const flow_params& p
     functional_intermediate( aig, params.optimization_rounds );
     break;
   case flow_kind::esop_based:
-    esop_intermediate( aig, params.optimization_rounds, params.run_exorcism );
+  {
+    exorcism_params mlimits;
+    mlimits.pair_budget = params.limits.exorcism_pair_budget;
+    mlimits.stop = stop;
+    esop_intermediate( aig, params.optimization_rounds, params.run_exorcism, mlimits );
     break;
+  }
   case flow_kind::hierarchical:
     xmg_intermediate( aig, params.optimization_rounds, params.cut_size );
     break;
@@ -240,6 +281,12 @@ cache_stats flow_artifact_cache::stats() const
 flow_result run_flow_staged( const aig_network& aig, const flow_params& params,
                              flow_artifact_cache& cache )
 {
+  return run_flow_staged( aig, params, cache, deadline::in( params.limits.deadline_seconds ) );
+}
+
+flow_result run_flow_staged( const aig_network& aig, const flow_params& params,
+                             flow_artifact_cache& cache, const deadline& stop )
+{
   stopwatch watch;
   const auto& optimized = cache.optimized( aig, params.optimization_rounds );
 
@@ -250,15 +297,23 @@ flow_result run_flow_staged( const aig_network& aig, const flow_params& params,
   case flow_kind::functional:
   {
     const auto& art = cache.functional_intermediate( aig, params.optimization_rounds );
-    result = functional_tail( art, params );
+    result = functional_tail( art, params, stop );
     verify_outputs = &art.outputs;
     break;
   }
   case flow_kind::esop_based:
   {
-    const auto& art =
-        cache.esop_intermediate( aig, params.optimization_rounds, params.run_exorcism );
+    exorcism_params mlimits;
+    mlimits.pair_budget = params.limits.exorcism_pair_budget;
+    mlimits.stop = stop;
+    const auto& art = cache.esop_intermediate( aig, params.optimization_rounds,
+                                               params.run_exorcism, mlimits );
     result.esop_terms = art.terms;
+    if ( art.budget_exhausted )
+    {
+      result.status = flow_status::degraded;
+      result.status_detail = "exorcism stopped at its pair budget/deadline";
+    }
     esop_synth_params sparams;
     sparams.p = params.esop_p;
     result.circuit = esop_synthesize( art.expression, sparams );
@@ -288,13 +343,22 @@ flow_result run_flow_staged( const aig_network& aig, const flow_params& params,
   if ( mode != verify_mode::none )
   {
     stopwatch verify_watch;
-    result.verified_with = mode;
+    // `verified_with` is assigned by the branch that actually produces the
+    // verdict, so a downgraded SAT tier reports the fallback tier.
+    const auto record_report = [&result]( const partial_verify_report& report ) {
+      result.counterexample = report.counterexample;
+      result.verify_complete = report.complete;
+      result.verify_samples_requested = report.assignments_requested;
+      result.verify_samples_completed = report.assignments_completed;
+      result.verified = report.complete && !report.counterexample.has_value();
+    };
     switch ( mode )
     {
     case verify_mode::none:
       break;
     case verify_mode::sampled:
     case verify_mode::exhaustive:
+      result.verified_with = mode;
       if ( verify_outputs )
       {
         // The functional flow checks against its collapsed truth tables —
@@ -303,22 +367,93 @@ flow_result run_flow_staged( const aig_network& aig, const flow_params& params,
       }
       else
       {
-        result.counterexample =
-            mode == verify_mode::sampled
-                ? verify_against_aig_sampled( result.circuit, optimized )
-                : verify_against_aig_exhaustive( result.circuit, optimized );
-        result.verified = !result.counterexample.has_value();
+        record_report( mode == verify_mode::sampled
+                           ? verify_against_aig_sampled_budgeted( result.circuit, optimized, stop )
+                           : verify_against_aig_exhaustive_budgeted( result.circuit, optimized,
+                                                                     stop ) );
       }
       break;
     case verify_mode::sat:
+    {
       // The cache-owned persistent engine: every configuration of a sweep
-      // re-uses the spec encoding and the lemmas of earlier checks.
-      result.counterexample =
-          verify_against_aig_sat( result.circuit, optimized, cache.sat_engine() );
-      result.verified = !result.counterexample.has_value();
+      // re-uses the spec encoding and the lemmas of earlier checks.  An
+      // injected "verify.sat" trip simulates immediate budget exhaustion.
+      sat::check_limits climits;
+      climits.stop = stop;
+      climits.conflict_budget = params.limits.sat_conflict_budget;
+      climits.propagation_budget = params.limits.sat_propagation_budget;
+      sat_verify_outcome outcome;
+      if ( fault_injection::poll( "verify.sat" ) )
+      {
+        outcome.resolved = false;
+      }
+      else
+      {
+        outcome =
+            verify_against_aig_sat_budgeted( result.circuit, optimized, cache.sat_engine(), climits );
+      }
+      if ( outcome.resolved )
+      {
+        result.verified_with = verify_mode::sat;
+        result.verified = outcome.equivalent;
+        result.counterexample = outcome.counterexample;
+      }
+      else
+      {
+        // Verify-tier degradation ladder: the SAT tier ran out of budget.
+        // Fall back to an exhaustive proof when the design is narrow
+        // enough and wall-clock remains, else to budgeted sampling —
+        // recording the downgrade instead of hanging or reporting failure.
+        result.verify_downgraded = true;
+        const bool exhaustive_fits = optimized.num_pis() <= params.limits.exhaustive_fallback_max_pis &&
+                                     optimized.num_pis() <= 24u;
+        if ( exhaustive_fits && !stop.expired() )
+        {
+          result.verified_with = verify_mode::exhaustive;
+          record_report( verify_against_aig_exhaustive_budgeted( result.circuit, optimized, stop ) );
+        }
+        else
+        {
+          result.verified_with = verify_mode::sampled;
+          record_report( verify_against_aig_sampled_budgeted( result.circuit, optimized, stop ) );
+        }
+      }
       break;
     }
+    }
     result.verify_seconds = verify_watch.elapsed_seconds();
+
+    // Status accounting of the verification phase.  A counterexample is a
+    // definitive verdict regardless of coverage; without one, partial
+    // coverage degrades the result (or times it out when nothing ran),
+    // and a downgrade to a weaker-than-requested tier is itself a
+    // degradation even at full coverage (an exhaustive fallback proof is
+    // as strong as the requested SAT proof, so it stays `ok`).
+    if ( !result.counterexample.has_value() )
+    {
+      if ( !result.verify_complete )
+      {
+        if ( result.verify_samples_completed == 0 )
+        {
+          result.status = flow_status::timed_out;
+          result.status_detail = "deadline expired before any verification coverage";
+        }
+        else if ( result.status != flow_status::timed_out )
+        {
+          result.status = flow_status::degraded;
+          result.status_detail = "partial verification coverage: " +
+                                 std::to_string( result.verify_samples_completed ) + "/" +
+                                 std::to_string( result.verify_samples_requested ) +
+                                 " assignments";
+        }
+      }
+      else if ( result.verify_downgraded && result.verified_with == verify_mode::sampled &&
+                result.status == flow_status::ok )
+      {
+        result.status = flow_status::degraded;
+        result.status_detail = "sat verify budget exhausted; downgraded to sampled";
+      }
+    }
   }
   return result;
 }

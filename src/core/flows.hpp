@@ -48,6 +48,7 @@
 #include <utility>
 #include <vector>
 
+#include "../common/budget.hpp"
 #include "../embed/embedding.hpp"
 #include "../logic/aig.hpp"
 #include "../logic/truth_table.hpp"
@@ -56,6 +57,7 @@
 #include "../rsynth/esop_synth.hpp"
 #include "../rsynth/hierarchical.hpp"
 #include "../rsynth/tbs.hpp"
+#include "../synth/exorcism.hpp"
 #include "../synth/xmg_resynth.hpp"
 
 namespace qsyn
@@ -98,6 +100,20 @@ std::string verify_mode_name( verify_mode mode );
 /// Inverse of `verify_mode_name`; nullopt for unknown names.
 std::optional<verify_mode> verify_mode_from_name( const std::string& name );
 
+/// Outcome taxonomy of one budgeted flow (and of one design in a DSE
+/// sweep).  Anything other than `failed` carries a usable circuit/result.
+enum class flow_status
+{
+  ok,        ///< completed within budget at the requested quality
+  degraded,  ///< completed, but a budget forced a weaker result (partial
+             ///< minimization, verify-tier downgrade, partial coverage)
+  timed_out, ///< the deadline expired before a usable verdict/result
+  failed     ///< a stage threw; see `status_detail` for the error
+};
+
+/// Short name of a status ("ok", "degraded", "timed_out", "failed").
+std::string flow_status_name( flow_status status );
+
 struct flow_params
 {
   flow_kind kind = flow_kind::hierarchical;
@@ -113,6 +129,10 @@ struct flow_params
   bool bidirectional_tbs = true;    ///< functional flow
   bool verify = true;               ///< master toggle (false == verify_mode::none)
   verify_mode verification = verify_mode::sampled; ///< tier used when verify is on
+  /// Resource limits (deadline, SAT conflict/propagation caps, EXORCISM
+  /// pair cap, degradation threshold).  The default is unlimited and
+  /// bit-identical to the unbudgeted engine.
+  budget limits;
 };
 
 struct flow_result
@@ -125,10 +145,26 @@ struct flow_result
   double verify_seconds = 0.0;  ///< verification time of the tier that ran
                                 ///< (0 if verification is off)
   bool verified = false;
-  verify_mode verified_with = verify_mode::none; ///< tier that produced `verified`
+  verify_mode verified_with = verify_mode::none; ///< tier that actually produced `verified`
   /// Failing input assignment when a tier rejects (AIG-miter tiers only;
   /// the functional flow's truth-table check has no counterexample).
   std::optional<std::vector<bool>> counterexample;
+
+  /// Budget outcome of the flow (see `flow_status`); `status_detail` says
+  /// which budget bit and where.
+  flow_status status = flow_status::ok;
+  std::string status_detail;
+  /// True when the requested verify tier exhausted its budget and the flow
+  /// fell back to a cheaper tier (`verified_with` records the tier that
+  /// ran).
+  bool verify_downgraded = false;
+  /// Simulation-tier coverage accounting: false when the deadline expired
+  /// mid-simulation (the verdict then covers only
+  /// `verify_samples_completed` of `verify_samples_requested`
+  /// assignments).  SAT proofs and untimed tiers report complete = true.
+  bool verify_complete = true;
+  std::uint64_t verify_samples_requested = 0;
+  std::uint64_t verify_samples_completed = 0;
 
   /// Intermediate statistics.
   std::size_t aig_nodes_initial = 0;
@@ -179,6 +215,9 @@ public:
   {
     esop expression;
     std::size_t terms = 0;
+    /// True when EXORCISM stopped at its pair budget / deadline rather
+    /// than at a fixpoint (the expression is valid, just less minimized).
+    bool budget_exhausted = false;
   };
 
   /// Hierarchical back-end intermediate: the XMG shared by every cleanup
@@ -194,8 +233,12 @@ public:
   /// Collapse + optimum embedding, keyed on rounds.
   const functional_artifact& functional_intermediate( const aig_network& aig, unsigned rounds );
   /// Extraction + optional exorcism, keyed on (rounds, run_exorcism).
+  /// `minimize_limits` (EXORCISM pair budget + deadline) applies to the
+  /// first computation of a key only — the cached artifact is reused as-is
+  /// afterwards, so a sweep must use one budget configuration per cache.
   const esop_artifact& esop_intermediate( const aig_network& aig, unsigned rounds,
-                                          bool run_exorcism );
+                                          bool run_exorcism,
+                                          const exorcism_params& minimize_limits = {} );
   /// LUT map + XMG resynthesis, keyed on (rounds, cut_size).
   const xmg_artifact& xmg_intermediate( const aig_network& aig, unsigned rounds,
                                         unsigned cut_size );
@@ -211,8 +254,11 @@ public:
   sat::incremental_cec& sat_engine();
 
   /// Computes every artifact the given configuration will look up, so a
-  /// subsequent `run_flow_staged` only runs the synthesis tail.
-  void prefetch( const aig_network& aig, const flow_params& params );
+  /// subsequent `run_flow_staged` only runs the synthesis tail.  `stop`
+  /// bounds budget-aware stage kernels (EXORCISM) on a miss; fault
+  /// injection sites inside the stages fire here exactly as they would in
+  /// the flow itself.
+  void prefetch( const aig_network& aig, const flow_params& params, const deadline& stop = {} );
 
   cache_stats stats() const;
 
@@ -236,9 +282,19 @@ private:
 /// Runs a flow on an already-elaborated AIG, reading shared stage
 /// artifacts from (and adding missing ones to) the given cache.  Cost and
 /// circuit results are bit-identical to the uncached path; only
-/// `runtime_seconds` shrinks on cache hits.
+/// `runtime_seconds` shrinks on cache hits.  Budgets come from
+/// `params.limits` (the deadline is armed at call entry); expiry inside a
+/// kernel without a partial result (TBS) throws `qsyn::budget_exhausted`,
+/// anytime kernels and the verify ladder degrade instead and record it in
+/// `status` / `verify_downgraded`.
 flow_result run_flow_staged( const aig_network& aig, const flow_params& params,
                              flow_artifact_cache& cache );
+
+/// As above with an externally armed deadline (e.g. a DSE sweep deadline
+/// already tightened by the per-design budget); `params.limits`'s
+/// non-deadline caps still apply.
+flow_result run_flow_staged( const aig_network& aig, const flow_params& params,
+                             flow_artifact_cache& cache, const deadline& stop );
 
 /// Runs a flow on an already-elaborated AIG (one-shot private cache).
 flow_result run_flow_on_aig( const aig_network& aig, const flow_params& params );

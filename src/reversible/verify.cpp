@@ -208,8 +208,9 @@ bool verify_against_truth_tables( const reversible_circuit& circuit,
   return true;
 }
 
-std::optional<std::vector<bool>> verify_against_aig_exhaustive( const reversible_circuit& circuit,
-                                                                const aig_network& aig )
+partial_verify_report verify_against_aig_exhaustive_budgeted( const reversible_circuit& circuit,
+                                                              const aig_network& aig,
+                                                              const deadline& stop )
 {
   block_simulator sim( circuit );
   const auto num_pis = aig.num_pis();
@@ -221,10 +222,18 @@ std::optional<std::vector<bool>> verify_against_aig_exhaustive( const reversible
   {
     throw std::invalid_argument( "verify_against_aig_exhaustive: too many inputs" );
   }
+  partial_verify_report report;
+  report.assignments_requested = std::uint64_t{ 1 } << num_pis;
+  const auto poll_deadline = !stop.unlimited();
   const auto mask = block_mask( num_pis );
   std::vector<std::uint64_t> words( num_pis );
   for ( std::uint64_t blk = 0; blk < num_blocks_for( num_pis ); ++blk )
   {
+    if ( poll_deadline && stop.expired() )
+    {
+      report.complete = false;
+      return report;
+    }
     fill_counter_block( num_pis, blk, words );
     const auto expected = aig.simulate_patterns( words );
     const auto& actual = sim.evaluate( words );
@@ -233,16 +242,27 @@ std::optional<std::vector<bool>> verify_against_aig_exhaustive( const reversible
       // Lowest failing lane of the lowest failing block == first failing
       // assignment in counter order, matching the scalar enumeration the
       // block engine replaced.
-      return unpack_lane( words, static_cast<unsigned>( lsb_index( diff ) ) );
+      report.counterexample = unpack_lane( words, static_cast<unsigned>( lsb_index( diff ) ) );
+      report.assignments_completed += lsb_index( diff ) + 1u;
+      return report;
     }
+    report.assignments_completed +=
+        std::min<std::uint64_t>( 64u, report.assignments_requested - blk * 64u );
   }
-  return std::nullopt;
+  return report;
 }
 
-std::optional<std::vector<bool>> verify_against_aig_sampled( const reversible_circuit& circuit,
-                                                             const aig_network& aig,
-                                                             unsigned num_samples,
-                                                             std::uint64_t seed )
+std::optional<std::vector<bool>> verify_against_aig_exhaustive( const reversible_circuit& circuit,
+                                                                const aig_network& aig )
+{
+  return verify_against_aig_exhaustive_budgeted( circuit, aig, deadline{} ).counterexample;
+}
+
+partial_verify_report verify_against_aig_sampled_budgeted( const reversible_circuit& circuit,
+                                                           const aig_network& aig,
+                                                           const deadline& stop,
+                                                           unsigned num_samples,
+                                                           std::uint64_t seed )
 {
   const auto num_pis = aig.num_pis();
   // When the whole input space is no larger than the sample budget,
@@ -250,7 +270,7 @@ std::optional<std::vector<bool>> verify_against_aig_sampled( const reversible_ci
   // vectors and could certify a tiny design without ever covering it.
   if ( num_pis <= 24u && ( std::uint64_t{ 1 } << num_pis ) <= num_samples )
   {
-    return verify_against_aig_exhaustive( circuit, aig );
+    return verify_against_aig_exhaustive_budgeted( circuit, aig, stop );
   }
   block_simulator sim( circuit );
   if ( sim.input_lines().size() != num_pis || sim.output_lines().size() != aig.num_pos() )
@@ -259,9 +279,17 @@ std::optional<std::vector<bool>> verify_against_aig_sampled( const reversible_ci
   }
   std::mt19937_64 rng( seed );
   const std::uint64_t total = std::uint64_t{ num_samples } + 2u;
+  partial_verify_report report;
+  report.assignments_requested = total;
+  const auto poll_deadline = !stop.unlimited();
   std::vector<std::uint64_t> words( num_pis );
   for ( std::uint64_t base = 0; base < total; base += 64u )
   {
+    if ( poll_deadline && stop.expired() )
+    {
+      report.complete = false;
+      return report;
+    }
     // One rng word per input = 64 independent random assignments.  The
     // first batch pins lane 0 to all-zero and lane 1 to all-one.
     for ( auto& w : words )
@@ -278,10 +306,22 @@ std::optional<std::vector<bool>> verify_against_aig_sampled( const reversible_ci
     const auto& actual = sim.evaluate( words );
     if ( const auto diff = diff_word( expected, actual ) & mask )
     {
-      return unpack_lane( words, static_cast<unsigned>( lsb_index( diff ) ) );
+      report.counterexample = unpack_lane( words, static_cast<unsigned>( lsb_index( diff ) ) );
+      report.assignments_completed += lsb_index( diff ) + 1u;
+      return report;
     }
+    report.assignments_completed += lanes;
   }
-  return std::nullopt;
+  return report;
+}
+
+std::optional<std::vector<bool>> verify_against_aig_sampled( const reversible_circuit& circuit,
+                                                             const aig_network& aig,
+                                                             unsigned num_samples,
+                                                             std::uint64_t seed )
+{
+  return verify_against_aig_sampled_budgeted( circuit, aig, deadline{}, num_samples, seed )
+      .counterexample;
 }
 
 // --- SAT tier ----------------------------------------------------------------
@@ -334,12 +374,7 @@ std::optional<std::vector<bool>> verify_against_aig_sat( const reversible_circui
                                                          sat::incremental_cec& engine,
                                                          unsigned* failing_output )
 {
-  const auto impl = circuit_to_aig( circuit );
-  if ( impl.num_pis() != aig.num_pis() || impl.num_pos() != aig.num_pos() )
-  {
-    throw std::invalid_argument( "verify_against_aig_sat: interface mismatch" );
-  }
-  const auto outcome = engine.check( aig, impl );
+  const auto outcome = verify_against_aig_sat_budgeted( circuit, aig, engine, sat::check_limits{} );
   if ( outcome.equivalent )
   {
     return std::nullopt;
@@ -349,6 +384,25 @@ std::optional<std::vector<bool>> verify_against_aig_sat( const reversible_circui
     *failing_output = *outcome.failing_output;
   }
   return outcome.counterexample;
+}
+
+sat_verify_outcome verify_against_aig_sat_budgeted( const reversible_circuit& circuit,
+                                                    const aig_network& aig,
+                                                    sat::incremental_cec& engine,
+                                                    const sat::check_limits& limits )
+{
+  const auto impl = circuit_to_aig( circuit );
+  if ( impl.num_pis() != aig.num_pis() || impl.num_pos() != aig.num_pos() )
+  {
+    throw std::invalid_argument( "verify_against_aig_sat: interface mismatch" );
+  }
+  const auto checked = engine.check( aig, impl, limits );
+  sat_verify_outcome outcome;
+  outcome.resolved = checked.resolved;
+  outcome.equivalent = checked.resolved && checked.equivalent;
+  outcome.counterexample = checked.counterexample;
+  outcome.failing_output = checked.failing_output;
+  return outcome;
 }
 
 reversible_circuit corrupt_circuit( const reversible_circuit& circuit, const aig_network& spec )

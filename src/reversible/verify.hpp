@@ -30,6 +30,7 @@
 #include <optional>
 #include <vector>
 
+#include "../common/budget.hpp"
 #include "../logic/aig.hpp"
 #include "../logic/truth_table.hpp"
 #include "circuit.hpp"
@@ -40,6 +41,7 @@ namespace qsyn
 namespace sat
 {
 class incremental_cec;
+struct check_limits;
 } // namespace sat
 
 /// Lines flagged as primary inputs, in order.
@@ -107,6 +109,37 @@ std::optional<std::vector<bool>> verify_against_aig_sampled( const reversible_ci
                                                              unsigned num_samples = 256,
                                                              std::uint64_t seed = 1 );
 
+/// Coverage-accounted result of a budgeted simulation tier.  When the
+/// deadline expires mid-run the verdict is *partial*: `complete` is false
+/// and `assignments_completed < assignments_requested` says exactly how
+/// much of the input space was covered before the cutoff — never silently
+/// reported as full coverage.  A present `counterexample` is always real,
+/// partial coverage or not.
+struct partial_verify_report
+{
+  std::optional<std::vector<bool>> counterexample;
+  std::uint64_t assignments_requested = 0;
+  std::uint64_t assignments_completed = 0;
+  bool complete = true;
+};
+
+/// `verify_against_aig_exhaustive` with a cooperative deadline, polled once
+/// per 64-assignment block.  With an unlimited deadline the result is
+/// identical to the unbudgeted tier.
+partial_verify_report verify_against_aig_exhaustive_budgeted( const reversible_circuit& circuit,
+                                                              const aig_network& aig,
+                                                              const deadline& stop );
+
+/// `verify_against_aig_sampled` with a cooperative deadline, polled once
+/// per 64-sample block (the small-design exhaustive delegation applies
+/// unchanged).  With an unlimited deadline the result is identical to the
+/// unbudgeted tier.
+partial_verify_report verify_against_aig_sampled_budgeted( const reversible_circuit& circuit,
+                                                           const aig_network& aig,
+                                                           const deadline& stop,
+                                                           unsigned num_samples = 256,
+                                                           std::uint64_t seed = 1 );
+
 /// Extracts the function computed by the circuit as an AIG: one PI per
 /// primary-input line (in input order), one PO per output index.  Constant
 /// ancillae become AIG constants; each Toffoli gate contributes the AND of
@@ -137,6 +170,25 @@ std::optional<std::vector<bool>> verify_against_aig_sat( const reversible_circui
                                                          const aig_network& aig,
                                                          sat::incremental_cec& engine,
                                                          unsigned* failing_output = nullptr );
+
+/// Outcome of a budgeted SAT-tier check.  `resolved == false` means the
+/// limits ran out before a verdict; `equivalent` is then meaningless and
+/// the caller should degrade to a simulation tier.
+struct sat_verify_outcome
+{
+  bool resolved = true;
+  bool equivalent = false;
+  std::optional<std::vector<bool>> counterexample;
+  std::optional<unsigned> failing_output;
+};
+
+/// SAT tier under explicit limits (wall-clock deadline + conflict /
+/// propagation budgets, forwarded to `incremental_cec::check`).  With
+/// unlimited limits the verdict matches `verify_against_aig_sat` exactly.
+sat_verify_outcome verify_against_aig_sat_budgeted( const reversible_circuit& circuit,
+                                                    const aig_network& aig,
+                                                    sat::incremental_cec& engine,
+                                                    const sat::check_limits& limits );
 
 /// Checks that the circuit realizes exactly the given permutation over all
 /// its lines (num_lines() <= 20).

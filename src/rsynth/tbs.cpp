@@ -21,8 +21,9 @@ struct tbs_gate
 class tbs_engine
 {
 public:
-  tbs_engine( std::vector<std::uint64_t> perm, bool bidirectional )
-      : perm_( std::move( perm ) ), bidirectional_( bidirectional )
+  tbs_engine( std::vector<std::uint64_t> perm, bool bidirectional, const deadline& stop )
+      : perm_( std::move( perm ) ), bidirectional_( bidirectional ), stop_( stop ),
+        poll_deadline_( !stop.unlimited() )
   {
     if ( perm_.empty() || !is_power_of_two( perm_.size() ) )
     {
@@ -41,6 +42,13 @@ public:
     const std::uint64_t size = perm_.size();
     for ( std::uint64_t i = 0; i < size; ++i )
     {
+      // A partially fixed permutation is not a circuit of the function, so
+      // deadline expiry can only abort (see tbs_params::stop).  Poll every
+      // 16 rows — and on row 0, so a pre-expired deadline aborts promptly.
+      if ( poll_deadline_ && ( i & 15u ) == 0u && stop_.expired() )
+      {
+        throw budget_exhausted( "tbs: deadline expired mid-synthesis" );
+      }
       const auto v = perm_[i];
       if ( v == i )
       {
@@ -205,6 +213,8 @@ private:
   std::vector<std::uint64_t> perm_;
   std::vector<std::uint64_t> inverse_;
   bool bidirectional_;
+  deadline stop_;
+  bool poll_deadline_ = false;
   unsigned num_lines_ = 0;
   std::vector<tbs_gate> output_gates_;
   std::vector<tbs_gate> input_gates_;
@@ -214,7 +224,7 @@ private:
 
 reversible_circuit tbs_synthesize( std::vector<std::uint64_t> permutation, const tbs_params& params )
 {
-  tbs_engine engine( std::move( permutation ), params.bidirectional );
+  tbs_engine engine( std::move( permutation ), params.bidirectional, params.stop );
   return engine.run();
 }
 

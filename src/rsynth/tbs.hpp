@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "../common/budget.hpp"
 #include "../reversible/circuit.hpp"
 
 namespace qsyn
@@ -33,11 +34,16 @@ namespace qsyn
 struct tbs_params
 {
   bool bidirectional = true;
+  /// Cooperative deadline, polled every 16 rows.  TBS has no meaningful
+  /// partial result (a half-fixed permutation is not a circuit of the
+  /// function), so expiry throws `qsyn::budget_exhausted`.
+  deadline stop;
 };
 
 /// Synthesizes a reversible circuit realizing the given permutation over
 /// r = log2(perm.size()) lines.  The permutation acts on state indices
-/// whose bit i is line i.
+/// whose bit i is line i.  Throws `qsyn::budget_exhausted` when
+/// `params.stop` expires mid-synthesis.
 reversible_circuit tbs_synthesize( std::vector<std::uint64_t> permutation,
                                    const tbs_params& params = {} );
 

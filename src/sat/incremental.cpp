@@ -690,12 +690,48 @@ void incremental_cec::run_fraig()
 
 cec_outcome incremental_cec::check( const aig_network& a, const aig_network& b )
 {
+  return check( a, b, check_limits{} );
+}
+
+cec_outcome incremental_cec::check( const aig_network& a, const aig_network& b,
+                                    const check_limits& limits )
+{
   std::lock_guard<std::mutex> lock( mutex_ );
   if ( a.num_pis() != b.num_pis() || a.num_pos() != b.num_pos() )
   {
     throw std::invalid_argument( "incremental_cec::check: interface mismatch" );
   }
   ++stats_.checks;
+  // Install the wall-clock deadline on the persistent solver for the
+  // duration of this check (every check sets it, so limits never leak
+  // across calls).  Conflict/propagation budgets are deltas against the
+  // solver's cumulative counters at entry.
+  solver_.set_deadline( limits.stop );
+  const auto entry_conflicts = solver_.num_conflicts();
+  const auto entry_propagations = solver_.num_propagations();
+  const auto budget_exhausted = [&]() {
+    if ( limits.conflict_budget != 0 &&
+         solver_.num_conflicts() - entry_conflicts >= limits.conflict_budget )
+    {
+      return true;
+    }
+    if ( limits.propagation_budget != 0 &&
+         solver_.num_propagations() - entry_propagations >= limits.propagation_budget )
+    {
+      return true;
+    }
+    return !limits.stop.unlimited() && limits.stop.expired();
+  };
+  // Conflict budget left for one more solve (0 = unlimited, only when the
+  // check itself is unlimited; callers must test budget_exhausted() first).
+  const auto remaining_conflicts = [&]() -> std::uint64_t {
+    if ( limits.conflict_budget == 0 )
+    {
+      return 0;
+    }
+    const auto used = solver_.num_conflicts() - entry_conflicts;
+    return used >= limits.conflict_budget ? 1u : limits.conflict_budget - used;
+  };
   const auto nodes_before = nodes_.size();
   const auto outputs_a = encode( a );
   const auto outputs_b = encode( b );
@@ -797,7 +833,7 @@ cec_outcome incremental_cec::check( const aig_network& a, const aig_network& b )
       ++stats_.fraig_window_proofs;
       continue;
     }
-    if ( try_per_output )
+    if ( try_per_output && !budget_exhausted() )
     {
       const auto res = prove_equal( ea, eb, options_.output_conflict_budget,
                                     options_.output_decision_budget );
@@ -817,7 +853,7 @@ cec_outcome incremental_cec::check( const aig_network& a, const aig_network& b )
     unresolved.push_back( { o, ea, eb } );
   }
 
-  if ( !known_differing && !unresolved.empty() )
+  if ( !known_differing && !unresolved.empty() && !budget_exhausted() )
   {
     // Batched miter: trigger -> OR of one activated difference literal per
     // undecided output.  UNSAT under the trigger assumption proves every
@@ -837,7 +873,7 @@ cec_outcome incremental_cec::check( const aig_network& a, const aig_network& b )
       activation.push_back( diff );
     }
     solver_.add_clause( activation );
-    const auto res = solver_.solve( { pos_lit( trigger ) } );
+    const auto res = solver_.solve( { pos_lit( trigger ) }, remaining_conflicts() );
     // Retire the trigger and every diff variable with level-0 units: all
     // batch clauses become satisfied at level 0, so the next database
     // reduction sweeps them and a long-lived engine does not accumulate
@@ -869,8 +905,24 @@ cec_outcome incremental_cec::check( const aig_network& a, const aig_network& b )
     // work across calls.
     for ( const auto& u : unresolved )
     {
-      const auto res = prove_equal( u.ea, u.eb, 0, 0 );
-      assert( res != result::unknown );
+      if ( budget_exhausted() )
+      {
+        out.equivalent = false;
+        out.resolved = false;
+        stats_.solver_conflicts = solver_.num_conflicts();
+        return out;
+      }
+      const auto res = prove_equal( u.ea, u.eb, remaining_conflicts(), 0 );
+      if ( res == result::unknown )
+      {
+        // Budget/deadline ran out mid-proof; on an unlimited check this
+        // cannot happen (remaining_conflicts() is 0 and no deadline is
+        // installed).
+        out.equivalent = false;
+        out.resolved = false;
+        stats_.solver_conflicts = solver_.num_conflicts();
+        return out;
+      }
       if ( res == result::unsatisfiable )
       {
         learn_equal( u.ea, u.eb );
@@ -886,9 +938,18 @@ cec_outcome incremental_cec::check( const aig_network& a, const aig_network& b )
       // lowest.  Re-solve its miter to put a fresh model in the solver
       // (intermediate solves may have overwritten the budgeted one).
       const auto res = prove_equal( known_differing->ea, known_differing->eb, 0, 0 );
-      assert( res == result::satisfiable );
-      (void)res;
-      fail_at( known_differing->index );
+      if ( res == result::satisfiable )
+      {
+        fail_at( known_differing->index );
+      }
+      else
+      {
+        // The deadline expired before the model could be reconstructed;
+        // the difference itself is certain (a budgeted solve found it), so
+        // report the failing output without a counterexample.
+        out.equivalent = false;
+        out.failing_output = known_differing->index;
+      }
     }
   }
   stats_.solver_conflicts = solver_.num_conflicts();

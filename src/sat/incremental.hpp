@@ -131,13 +131,35 @@ struct cec_options
   std::uint32_t reduce_base = 2000;
 };
 
+/// Per-check resource limits (all default to unlimited).  The wall-clock
+/// deadline is installed on the persistent solver for the duration of the
+/// check; the conflict/propagation budgets bound the *additional* work this
+/// check may spend on the shared solver.
+struct check_limits
+{
+  deadline stop;
+  std::uint64_t conflict_budget = 0;    ///< extra conflicts allowed (0 = unlimited)
+  std::uint64_t propagation_budget = 0; ///< extra propagations allowed (0 = unlimited)
+
+  [[nodiscard]] bool unlimited() const
+  {
+    return stop.unlimited() && conflict_budget == 0 && propagation_budget == 0;
+  }
+};
+
 /// Outcome of one equivalence check.
 struct cec_outcome
 {
   bool equivalent = false;
+  /// False when the check ran out of budget/deadline before reaching a
+  /// verdict; `equivalent`/`failing_output` are then meaningless.  Checks
+  /// with unlimited limits always resolve.
+  bool resolved = true;
   /// Lowest-indexed output on which the networks differ.
   std::optional<unsigned> failing_output;
   /// Input assignment distinguishing the networks at `failing_output`.
+  /// May be absent on a budgeted check that proved a difference but could
+  /// not reconstruct a model before the budget ran out.
   std::optional<std::vector<bool>> counterexample;
 };
 
@@ -169,6 +191,12 @@ public:
   /// function.  Successive calls may use different networks — and different
   /// interface sizes — and reuse everything already encoded.  Thread-safe.
   cec_outcome check( const aig_network& a, const aig_network& b );
+
+  /// Budgeted variant: stops cooperatively at the limits and reports
+  /// `resolved = false` instead of hanging.  Structure learned before the
+  /// budget ran out (lemmas, merges, signatures) is kept, so a later retry
+  /// resumes instead of restarting.
+  cec_outcome check( const aig_network& a, const aig_network& b, const check_limits& limits );
 
   cec_stats stats() const;
   const cec_options& options() const { return options_; }

@@ -570,6 +570,10 @@ result solver::solve( const std::vector<literal>& assumptions, std::uint64_t con
   {
     return result::unsatisfiable;
   }
+  if ( !deadline_.unlimited() && deadline_.expired() )
+  {
+    return result::unknown;
+  }
   backtrack( 0 );
   if ( propagate() >= 0 )
   {
@@ -627,6 +631,11 @@ result solver::solve( const std::vector<literal>& assumptions, std::uint64_t con
         backtrack( 0 );
         return result::unknown;
       }
+      if ( !deadline_.unlimited() && deadline_.expired() )
+      {
+        backtrack( 0 );
+        return result::unknown;
+      }
       if ( conflicts_since_restart >= restart_limit )
       {
         conflicts_since_restart = 0;
@@ -667,6 +676,11 @@ result solver::solve( const std::vector<literal>& assumptions, std::uint64_t con
     }
 
     if ( decision_budget != 0 && decisions_ - start_decisions >= decision_budget )
+    {
+      backtrack( 0 );
+      return result::unknown;
+    }
+    if ( !deadline_.unlimited() && ( decisions_ - start_decisions ) % 1024u == 0u && deadline_.expired() )
     {
       backtrack( 0 );
       return result::unknown;

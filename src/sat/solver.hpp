@@ -34,6 +34,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "../common/budget.hpp"
+
 namespace qsyn::sat
 {
 
@@ -91,6 +93,14 @@ public:
   /// node), which shrinks the decision space of a miter from the whole
   /// encoding to the primary inputs.  Default: branchable.
   void set_branchable( std::uint32_t var, bool branchable );
+
+  /// Sets a cooperative wall-clock deadline polled at the conflict and
+  /// decision checkpoints of `solve()` (and at solve entry, so an already
+  /// expired deadline returns promptly).  An expired deadline makes
+  /// `solve()` return `result::unknown`, exactly like an exhausted
+  /// conflict budget.  A default-constructed deadline (the default) never
+  /// expires.
+  void set_deadline( const deadline& d ) { deadline_ = d; }
 
   /// Enables/disables learned-clause deletion (default: enabled).  Deletion
   /// is a performance feature only; verdicts are unaffected.
@@ -190,6 +200,7 @@ private:
   std::vector<std::uint64_t> lbd_stamp_; ///< per level, for compute_lbd()
   std::uint64_t lbd_stamp_counter_ = 0;
 
+  deadline deadline_;
   bool deletion_enabled_ = true;
   std::uint32_t reduce_base_ = 2000;
   std::uint64_t reduce_limit_ = 0; ///< 0 = not yet initialized

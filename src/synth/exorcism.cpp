@@ -313,9 +313,12 @@ public:
     }
   }
 
-  void run( unsigned max_passes, exorcism_stats& stats )
+  void run( const exorcism_params& params, exorcism_stats& stats )
   {
-    for ( unsigned pass = 0; pass < max_passes; ++pass )
+    pair_budget_ = params.pair_budget;
+    stop_ = params.stop;
+    poll_deadline_ = !stop_.unlimited();
+    for ( unsigned pass = 0; pass < params.max_passes && !exhausted_; ++pass )
     {
       ++stats.passes;
       improved_ = false;
@@ -325,7 +328,7 @@ public:
         build_indexes();
         needs_rebuild_ = false;
       }
-      for ( std::uint32_t i = 0; i < slots_.size(); ++i )
+      for ( std::uint32_t i = 0; i < slots_.size() && !exhausted_; ++i )
       {
         if ( !slots_[i].dirty || !alive( i ) )
         {
@@ -348,6 +351,8 @@ public:
         break;
       }
     }
+    stats.pairs_attempted = attempts_;
+    stats.budget_exhausted = exhausted_;
     compact();
     expression_.terms.clear();
     expression_.terms.reserve( slots_.size() );
@@ -601,10 +606,38 @@ private:
     return j != i && slots_[j].output_mask == g.output_mask;
   }
 
+  /// One pair-improvement attempt against the run's budget/deadline.
+  /// Polling the clock every 256 attempts (starting with the first, so a
+  /// pre-expired deadline stops the run promptly) keeps the overhead
+  /// negligible against the index probes an attempt performs.
+  bool budget_hit()
+  {
+    if ( exhausted_ )
+    {
+      return true;
+    }
+    ++attempts_;
+    if ( pair_budget_ != 0 && attempts_ > pair_budget_ )
+    {
+      exhausted_ = true;
+      return true;
+    }
+    if ( poll_deadline_ && ( attempts_ & 255u ) == 1u && stop_.expired() )
+    {
+      exhausted_ = true;
+      return true;
+    }
+    return false;
+  }
+
   /// Looks for one improving rewrite involving slot i via the group's pair
   /// index (or a member scan for small groups).
   bool improve_once( std::uint32_t i )
   {
+    if ( budget_hit() )
+    {
+      return false;
+    }
     const auto git = groups_.find( slots_[i].output_mask );
     if ( git == groups_.end() )
     {
@@ -732,11 +765,23 @@ private:
   std::unordered_map<std::uint64_t, group> groups_;
   bool improved_ = false;
   bool needs_rebuild_ = true;
+  std::uint64_t pair_budget_ = 0;
+  deadline stop_;
+  bool poll_deadline_ = false;
+  std::uint64_t attempts_ = 0;
+  bool exhausted_ = false;
 };
 
 } // namespace
 
 exorcism_stats exorcism( esop& expression, unsigned max_passes )
+{
+  exorcism_params params;
+  params.max_passes = max_passes;
+  return exorcism( expression, params );
+}
+
+exorcism_stats exorcism( esop& expression, const exorcism_params& params )
 {
   exorcism_stats stats;
   expression.merge_identical_cubes();
@@ -744,7 +789,7 @@ exorcism_stats exorcism( esop& expression, unsigned max_passes )
   stats.initial_literals = expression.num_literals();
 
   minimizer engine( expression );
-  engine.run( max_passes, stats );
+  engine.run( params, stats );
 
   stats.final_terms = expression.num_terms();
   stats.final_literals = expression.num_literals();

@@ -19,6 +19,9 @@
 
 #pragma once
 
+#include <cstdint>
+
+#include "../common/budget.hpp"
 #include "../logic/cube.hpp"
 
 namespace qsyn
@@ -32,6 +35,24 @@ struct exorcism_stats
   std::size_t initial_literals = 0;
   std::size_t final_literals = 0;
   unsigned passes = 0;
+  /// Pair-improvement attempts spent (the unit of `pair_budget`).
+  std::uint64_t pairs_attempted = 0;
+  /// True when the run stopped at its pair budget or deadline rather than
+  /// at a fixpoint.  The expression is still a valid (partially minimized)
+  /// ESOP of the same function — every rewrite preserves it, so stopping
+  /// anywhere is sound.
+  bool budget_exhausted = false;
+};
+
+/// Resource limits of one minimization run (EXORCISM is an anytime
+/// algorithm: hitting a limit yields a valid, merely less-minimized ESOP).
+struct exorcism_params
+{
+  unsigned max_passes = 16;
+  /// Pair-improvement attempts allowed (0 = unlimited).
+  std::uint64_t pair_budget = 0;
+  /// Cooperative wall-clock deadline, polled every 256 attempts.
+  deadline stop;
 };
 
 /// Closed-form distance-1 merge: the single cube equivalent to a ^ b when
@@ -57,5 +78,8 @@ bool xor_equivalent_exhaustive( const cube& a, const cube& b, const cube& c1,
 /// Minimizes a multi-output ESOP in place; returns statistics.
 /// `max_passes` bounds the outer improvement loop.
 exorcism_stats exorcism( esop& expression, unsigned max_passes = 16 );
+
+/// As above, under explicit resource limits.
+exorcism_stats exorcism( esop& expression, const exorcism_params& params );
 
 } // namespace qsyn

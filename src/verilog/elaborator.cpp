@@ -169,7 +169,10 @@ public:
 private:
   [[noreturn]] void fail( const std::string& message ) const
   {
-    throw std::runtime_error( "verilog elaborator: " + message );
+    // The AST carries no source positions, so the module name is the best
+    // anchor an elaboration diagnostic can give (messages themselves name
+    // the offending signal or port).
+    throw std::runtime_error( "verilog elaborator: module '" + mod_.name + "': " + message );
   }
 
   void collect_signals()
@@ -774,9 +777,17 @@ elaborated_module elaborate( const module_def& mod )
   return impl.run();
 }
 
-elaborated_module elaborate_verilog( const std::string& source )
+elaborated_module elaborate_verilog( const std::string& source, const std::string& source_name )
 {
-  return elaborate( parse_module( source ) );
+  const auto mod = parse_module( source, source_name );
+  try
+  {
+    return elaborate( mod );
+  }
+  catch ( const std::runtime_error& e )
+  {
+    throw std::runtime_error( source_name + ": " + e.what() );
+  }
 }
 
 } // namespace qsyn::verilog

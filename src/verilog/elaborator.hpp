@@ -38,11 +38,15 @@ struct elaborated_module
 };
 
 /// Elaborates a parsed module.  Throws std::runtime_error on semantic
-/// errors (undriven wires, width-0 signals, combinational cycles, ...).
+/// errors (undriven wires, width-0 signals, combinational cycles, ...);
+/// the message names the module and the offending signal.
 elaborated_module elaborate( const module_def& mod );
 
-/// Convenience: parse + elaborate Verilog source.
-elaborated_module elaborate_verilog( const std::string& source );
+/// Convenience: parse + elaborate Verilog source.  `source_name` prefixes
+/// every parse and elaboration diagnostic, so per-design failure records
+/// in a batch sweep say which design (and where) went wrong.
+elaborated_module elaborate_verilog( const std::string& source,
+                                     const std::string& source_name = "<verilog>" );
 
 /// --- reusable word-level bit-blasting helpers ---------------------------
 /// These operate on LSB-first literal vectors and are shared with tests and

@@ -11,10 +11,107 @@ namespace qsyn::verilog
 namespace
 {
 
+/// Printable form of a token for diagnostics: identifiers and keywords show
+/// their text, everything else a fixed spelling or description.
+std::string token_spelling( const token& t )
+{
+  if ( !t.text.empty() )
+  {
+    return "'" + t.text + "'";
+  }
+  switch ( t.kind )
+  {
+  case token_kind::identifier:
+    return "identifier";
+  case token_kind::number:
+    return "number";
+  case token_kind::keyword_module:
+    return "'module'";
+  case token_kind::keyword_endmodule:
+    return "'endmodule'";
+  case token_kind::keyword_input:
+    return "'input'";
+  case token_kind::keyword_output:
+    return "'output'";
+  case token_kind::keyword_wire:
+    return "'wire'";
+  case token_kind::keyword_assign:
+    return "'assign'";
+  case token_kind::lparen:
+    return "'('";
+  case token_kind::rparen:
+    return "')'";
+  case token_kind::lbracket:
+    return "'['";
+  case token_kind::rbracket:
+    return "']'";
+  case token_kind::lbrace:
+    return "'{'";
+  case token_kind::rbrace:
+    return "'}'";
+  case token_kind::comma:
+    return "','";
+  case token_kind::semicolon:
+    return "';'";
+  case token_kind::colon:
+    return "':'";
+  case token_kind::question:
+    return "'?'";
+  case token_kind::plus:
+    return "'+'";
+  case token_kind::minus:
+    return "'-'";
+  case token_kind::star:
+    return "'*'";
+  case token_kind::slash:
+    return "'/'";
+  case token_kind::percent:
+    return "'%'";
+  case token_kind::shift_left:
+    return "'<<'";
+  case token_kind::shift_right:
+    return "'>>'";
+  case token_kind::less:
+    return "'<'";
+  case token_kind::less_equal:
+    return "'<='";
+  case token_kind::greater:
+    return "'>'";
+  case token_kind::greater_equal:
+    return "'>='";
+  case token_kind::equal_equal:
+    return "'=='";
+  case token_kind::not_equal:
+    return "'!='";
+  case token_kind::amp:
+    return "'&'";
+  case token_kind::amp_amp:
+    return "'&&'";
+  case token_kind::pipe:
+    return "'|'";
+  case token_kind::pipe_pipe:
+    return "'||'";
+  case token_kind::caret:
+    return "'^'";
+  case token_kind::tilde:
+    return "'~'";
+  case token_kind::bang:
+    return "'!'";
+  case token_kind::assign_op:
+    return "'='";
+  case token_kind::end_of_file:
+    return "end of file";
+  }
+  return "token";
+}
+
 class parser
 {
 public:
-  explicit parser( std::vector<token> tokens ) : tokens_( std::move( tokens ) ) {}
+  parser( std::vector<token> tokens, std::string source_name )
+      : tokens_( std::move( tokens ) ), source_name_( std::move( source_name ) )
+  {
+  }
 
   module_def parse()
   {
@@ -89,15 +186,18 @@ private:
   {
     if ( !at( kind ) )
     {
-      fail( "unexpected token" );
+      token wanted{};
+      wanted.kind = kind;
+      fail( "expected " + token_spelling( wanted ) );
     }
     return tokens_[pos_++];
   }
 
   [[noreturn]] void fail( const std::string& message ) const
   {
-    throw std::runtime_error( "verilog parser, line " + std::to_string( current().line ) +
-                              ": " + message );
+    throw std::runtime_error( source_name_ + ":" + std::to_string( current().line ) +
+                              ": verilog parser: " + message + " near " +
+                              token_spelling( current() ) );
   }
 
   /// Parses `[msb:lsb]`; returns the width and requires lsb == 0.
@@ -558,15 +658,30 @@ private:
   }
 
   std::vector<token> tokens_;
+  std::string source_name_;
   std::size_t pos_ = 0;
 };
 
 } // namespace
 
-module_def parse_module( const std::string& source )
+module_def parse_module( const std::string& source, const std::string& source_name )
 {
-  parser p( tokenize( source ) );
-  return p.parse();
+  // Lexer diagnostics already carry a line number; prefix the source name
+  // here so every layer's message says which design it came from.
+  try
+  {
+    parser p( tokenize( source ), source_name );
+    return p.parse();
+  }
+  catch ( const std::runtime_error& e )
+  {
+    const std::string what = e.what();
+    if ( what.rfind( source_name + ":", 0 ) == 0 )
+    {
+      throw;
+    }
+    throw std::runtime_error( source_name + ": " + what );
+  }
 }
 
 } // namespace qsyn::verilog

@@ -11,7 +11,11 @@ namespace qsyn::verilog
 {
 
 /// Parses a single module from Verilog source.  Throws std::runtime_error
-/// with a line number on syntax errors.
-module_def parse_module( const std::string& source );
+/// on syntax errors; the message carries `source_name`, the 1-based line,
+/// and the offending token ("demo.v:3: verilog parser: unexpected token
+/// near 'endmodule'"), so a malformed design degrades to a useful
+/// per-design failure record instead of an opaque abort.
+module_def parse_module( const std::string& source,
+                         const std::string& source_name = "<verilog>" );
 
 } // namespace qsyn::verilog
