@@ -11,7 +11,17 @@
 /// the speedup, and the cache hit/miss counters so every future PR can
 /// extend the perf trajectory.
 ///
-/// Usage: bench_dse [--out FILE] [--quick] [--max N] [--threads N] [--no-verify]
+/// Schema v3 additionally reports the task-graph scheduler: per case the
+/// tasks run, steals, coalesced artifact requests, and the critical path
+/// of the dependency DAG (the wall clock an ideal scheduler would need),
+/// and a multi-design sweep section comparing the serial one-design-at-a-
+/// time batch driver (`schedule_mode::tail_only`) against the whole-batch
+/// task graph on a work-stealing pool (`--sweep-threads` workers, default
+/// max(4, hardware)) — bit-identical costs required, wall clocks and
+/// scheduler counters reported.
+///
+/// Usage: bench_dse [--out FILE] [--quick] [--max N] [--threads N]
+///                  [--sweep-threads N] [--no-verify]
 ///                  [--verify-mode sampled|exhaustive|sat]
 ///                  [--deadline-ms N] [--sat-conflict-budget N]
 ///
@@ -38,6 +48,7 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.hpp"
 #include "common/timer.hpp"
 #include "core/dse.hpp"
 #include "verilog/elaborator.hpp"
@@ -60,6 +71,7 @@ struct case_result
   bool identical = true;
   bool all_verified = true;
   std::size_t non_ok_points = 0; ///< degraded/timed_out/failed points (both paths)
+  task_graph_stats sched;        ///< cached-path (task-graph engine) scheduler stats
 };
 
 bool points_identical( const std::vector<dse_point>& a, const std::vector<dse_point>& b )
@@ -99,20 +111,22 @@ case_result run_case( reciprocal_design design, unsigned n, bool include_functio
   r.num_configs = configs.size();
 
   // Sequential seed path: no artifact sharing, one full pipeline per
-  // configuration, inline execution.
+  // configuration, inline execution, the pre-graph engine.
   explore_options seq;
+  seq.scheduler = schedule_mode::tail_only;
   seq.num_threads = 1;
   seq.use_cache = false;
   stopwatch watch;
   const auto seq_points = explore( mod.aig, configs, seq );
   r.seq_wall_s = watch.elapsed_seconds();
 
-  // Cached + threaded engine.
+  // Cached task-graph engine: coalesced stage-artifact tasks feeding the
+  // per-configuration tails on the work-stealing pool.
   explore_options par;
   par.num_threads = num_threads;
   flow_artifact_cache cache;
   watch.restart();
-  const auto cached_points = explore( mod.aig, configs, par, cache );
+  const auto cached_points = explore( mod.aig, configs, par, cache, deadline{}, r.sched );
   r.cached_wall_s = watch.elapsed_seconds();
   r.cache_hits = cache.stats().hits;
   r.cache_misses = cache.stats().misses;
@@ -149,11 +163,94 @@ case_result run_case( reciprocal_design design, unsigned n, bool include_functio
                r.seq_wall_s / ( r.cached_wall_s > 0 ? r.cached_wall_s : 1e-9 ), r.verify_s,
                r.cache_hits, r.cache_misses, r.identical ? "identical" : "COSTS DIVERGED",
                verify ? ( r.all_verified ? ", verified" : ", VERIFY FAILED" ) : "" );
+  std::printf( "             scheduler: %zu tasks, %zu coalesced, %llu steals, critical path %6.3f s vs wall %6.3f s\n",
+               r.sched.tasks_run, r.sched.coalesced,
+               static_cast<unsigned long long>( r.sched.steals ),
+               r.sched.critical_path_seconds, r.sched.wall_seconds );
   return r;
 }
 
-void write_json( const char* path, const std::vector<case_result>& cases, bool verify,
-                 verify_mode mode, unsigned num_threads )
+/// The multi-design sweep comparison: the serial one-design-at-a-time batch
+/// driver against the whole-batch task graph, same configurations, same
+/// worker count, bit-identical costs required.
+struct sweep_result
+{
+  unsigned min_n = 0;
+  unsigned max_n = 0;
+  unsigned threads = 0;
+  double tail_only_wall_s = 0.0;
+  double task_graph_wall_s = 0.0;
+  bool identical = true;
+  bool all_ok = true;
+  task_graph_stats sched;
+};
+
+bool sweeps_identical( const std::vector<design_exploration>& a,
+                       const std::vector<design_exploration>& b )
+{
+  if ( a.size() != b.size() )
+  {
+    return false;
+  }
+  for ( std::size_t d = 0; d < a.size(); ++d )
+  {
+    if ( a[d].name != b[d].name || a[d].status != b[d].status ||
+         !points_identical( a[d].points, b[d].points ) )
+    {
+      return false;
+    }
+  }
+  return true;
+}
+
+sweep_result run_sweep( unsigned min_n, unsigned max_n, unsigned threads, bool verify,
+                        verify_mode mode, const budget& limits )
+{
+  sweep_result r;
+  r.min_n = min_n;
+  r.max_n = max_n;
+  r.threads = threads;
+
+  explore_options common;
+  common.num_threads = threads;
+  common.functional_max_bitwidth = 6; // same ceiling as the per-case sweep
+  common.verification = verify ? mode : verify_mode::none;
+  common.limits = limits;
+  const std::vector<reciprocal_design> designs = { reciprocal_design::intdiv,
+                                                   reciprocal_design::newton };
+
+  auto serial_options = common;
+  serial_options.scheduler = schedule_mode::tail_only;
+  stopwatch watch;
+  const auto serial = explore_designs( designs, min_n, max_n, serial_options );
+  r.tail_only_wall_s = watch.elapsed_seconds();
+
+  auto graph_options = common;
+  graph_options.scheduler = schedule_mode::task_graph;
+  watch.restart();
+  const auto graphed = explore_designs( designs, min_n, max_n, graph_options, r.sched );
+  r.task_graph_wall_s = watch.elapsed_seconds();
+
+  r.identical = sweeps_identical( serial, graphed );
+  for ( const auto& entry : graphed )
+  {
+    r.all_ok = r.all_ok && entry.status == flow_status::ok;
+  }
+
+  std::printf( "\nsweep n=%u..%u on %u threads | tail-only %8.3f s | task-graph %8.3f s (%.2fx) | %s\n",
+               min_n, max_n, threads, r.tail_only_wall_s, r.task_graph_wall_s,
+               r.tail_only_wall_s / ( r.task_graph_wall_s > 0 ? r.task_graph_wall_s : 1e-9 ),
+               r.identical ? "identical" : "COSTS DIVERGED" );
+  std::printf( "  scheduler: %zu tasks, %zu coalesced, %llu steals, critical path %6.3f s vs wall %6.3f s\n",
+               r.sched.tasks_run, r.sched.coalesced,
+               static_cast<unsigned long long>( r.sched.steals ),
+               r.sched.critical_path_seconds, r.sched.wall_seconds );
+  return r;
+}
+
+void write_json( const char* path, const std::vector<case_result>& cases,
+                 const sweep_result& sweep, bool verify, verify_mode mode,
+                 unsigned num_threads )
 {
   double total_seq = 0.0;
   double total_cached = 0.0;
@@ -175,7 +272,7 @@ void write_json( const char* path, const std::vector<case_result>& cases, bool v
     std::fprintf( stderr, "cannot open %s for writing\n", path );
     std::exit( 1 );
   }
-  std::fprintf( f, "{\n  \"bench\": \"dse\",\n  \"schema_version\": 2,\n" );
+  std::fprintf( f, "{\n  \"bench\": \"dse\",\n  \"schema_version\": 3,\n" );
   std::fprintf( f, "  \"verify\": %s,\n", verify ? "true" : "false" );
   std::fprintf( f, "  \"verify_mode\": \"%s\",\n",
                 verify_mode_name( mode ).c_str() );
@@ -187,6 +284,24 @@ void write_json( const char* path, const std::vector<case_result>& cases, bool v
                 total_seq / ( total_cached > 0 ? total_cached : 1e-9 ) );
   std::fprintf( f, "  \"all_identical\": %s,\n", all_identical ? "true" : "false" );
   std::fprintf( f, "  \"all_verified\": %s,\n", all_verified ? "true" : "false" );
+  std::fprintf( f, "  \"sweep\": {\n" );
+  std::fprintf( f, "    \"min_bitwidth\": %u,\n", sweep.min_n );
+  std::fprintf( f, "    \"max_bitwidth\": %u,\n", sweep.max_n );
+  std::fprintf( f, "    \"threads\": %u,\n", sweep.threads );
+  std::fprintf( f, "    \"tail_only_wall_s\": %.4f,\n", sweep.tail_only_wall_s );
+  std::fprintf( f, "    \"task_graph_wall_s\": %.4f,\n", sweep.task_graph_wall_s );
+  std::fprintf( f, "    \"speedup\": %.3f,\n",
+                sweep.tail_only_wall_s /
+                    ( sweep.task_graph_wall_s > 0 ? sweep.task_graph_wall_s : 1e-9 ) );
+  std::fprintf( f, "    \"identical\": %s,\n", sweep.identical ? "true" : "false" );
+  std::fprintf( f, "    \"all_ok\": %s,\n", sweep.all_ok ? "true" : "false" );
+  std::fprintf( f, "    \"tasks_run\": %zu,\n", sweep.sched.tasks_run );
+  std::fprintf( f, "    \"coalesced\": %zu,\n", sweep.sched.coalesced );
+  std::fprintf( f, "    \"steals\": %llu,\n",
+                static_cast<unsigned long long>( sweep.sched.steals ) );
+  std::fprintf( f, "    \"critical_path_s\": %.4f,\n", sweep.sched.critical_path_seconds );
+  std::fprintf( f, "    \"sched_wall_s\": %.4f\n", sweep.sched.wall_seconds );
+  std::fprintf( f, "  },\n" );
   std::fprintf( f, "  \"cases\": [\n" );
   for ( std::size_t i = 0; i < cases.size(); ++i )
   {
@@ -202,6 +317,12 @@ void write_json( const char* path, const std::vector<case_result>& cases, bool v
     std::fprintf( f, "      \"verify_s\": %.4f,\n", c.verify_s );
     std::fprintf( f, "      \"cache_hits\": %zu,\n", c.cache_hits );
     std::fprintf( f, "      \"cache_misses\": %zu,\n", c.cache_misses );
+    std::fprintf( f, "      \"sched_tasks_run\": %zu,\n", c.sched.tasks_run );
+    std::fprintf( f, "      \"sched_coalesced\": %zu,\n", c.sched.coalesced );
+    std::fprintf( f, "      \"sched_steals\": %llu,\n",
+                  static_cast<unsigned long long>( c.sched.steals ) );
+    std::fprintf( f, "      \"sched_critical_path_s\": %.4f,\n",
+                  c.sched.critical_path_seconds );
     std::fprintf( f, "      \"identical\": %s\n", c.identical ? "true" : "false" );
     std::fprintf( f, "    }%s\n", i + 1 < cases.size() ? "," : "" );
   }
@@ -217,7 +338,10 @@ int main( int argc, char** argv )
   bool quick = false;
   bool verify = true;
   verify_mode mode = verify_mode::sampled;
-  unsigned num_threads = 0; // hardware concurrency
+  unsigned num_threads = 0;   // hardware concurrency (QSYN_THREADS honoured)
+  unsigned sweep_threads = 0; // 0 = max(4, hardware): the sweep section must
+                              // exercise a real multi-worker pool even when
+                              // --threads pins the per-case engine to 1
   unsigned max_n = 7;
   budget limits;
   for ( int i = 1; i < argc; ++i )
@@ -254,6 +378,10 @@ int main( int argc, char** argv )
     {
       num_threads = static_cast<unsigned>( std::atoi( argv[++i] ) );
     }
+    else if ( std::strcmp( argv[i], "--sweep-threads" ) == 0 && i + 1 < argc )
+    {
+      sweep_threads = static_cast<unsigned>( std::atoi( argv[++i] ) );
+    }
     else if ( std::strcmp( argv[i], "--deadline-ms" ) == 0 && i + 1 < argc )
     {
       limits.deadline_seconds = std::atof( argv[++i] ) / 1000.0;
@@ -283,10 +411,17 @@ int main( int argc, char** argv )
     }
   }
 
-  write_json( out_path, cases, verify, mode, num_threads );
+  if ( sweep_threads == 0u )
+  {
+    sweep_threads = std::max( 4u, thread_pool::default_num_threads() );
+  }
+  const auto sweep =
+      run_sweep( 5u, quick ? 5u : 6u, sweep_threads, verify, mode, limits );
+
+  write_json( out_path, cases, sweep, verify, mode, num_threads );
   std::printf( "\nwrote %s\n", out_path );
 
-  bool ok = true;
+  bool ok = sweep.identical && sweep.all_ok;
   for ( const auto& c : cases )
   {
     ok = ok && c.identical && c.all_verified;

@@ -6,6 +6,12 @@
 #   * the DSE engine's cached sweep regresses its wall clock by more than
 #     10% against the committed baseline (or its costs diverge from the
 #     sequential path),
+#   * the task-graph batch sweep regresses: costs diverge from the serial
+#     one-design-at-a-time driver, its tail-only-vs-task-graph speedup
+#     drops more than 10% against the committed baseline, or the
+#     work-stealing pool reports ZERO steals on a multi-worker sweep (the
+#     dead-parallelism canary: a scheduler that silently serialized would
+#     still produce identical results),
 #   * the verification tiers diverge (scalar vs block vs SAT accept/reject),
 #     a corrupted circuit slips through, or the block-vs-scalar speedup
 #     drops more than 10% against the committed baseline,
@@ -17,8 +23,9 @@
 #     subdirectory.
 # Finally reruns the verification test suite under AddressSanitizer
 # (QSYN_SANITIZE=address) — the block engine is all raw word indexing —
-# and the robustness suite (budgets, cancellation, fault injection) under
-# UndefinedBehaviorSanitizer and ThreadSanitizer.
+# and the robustness + scheduler suites (budgets, cancellation, fault
+# injection, the work-stealing task graph) under UndefinedBehaviorSanitizer
+# and ThreadSanitizer.
 #
 # Every benchmark invocation runs inside a hard `timeout` ceiling
 # (BENCH_TIMEOUT seconds, default 1200): a hung benchmark is exactly the
@@ -136,6 +143,49 @@ if not fresh.get("all_identical", False):
     failures.append("cached sweep costs diverged from the sequential path")
 if fresh.get("verify", False) and not fresh.get("all_verified", False):
     failures.append("a swept configuration failed verification")
+
+# --- task-graph batch-sweep gates (schema v3) --------------------------------
+sweep = fresh.get("sweep", {})
+base_sweep = baseline.get("sweep", {})
+if not sweep:
+    failures.append("fresh run has no batch-sweep section (schema < 3?)")
+else:
+    if not sweep.get("identical", False):
+        failures.append("task-graph batch sweep costs diverged from the serial driver")
+    # Dead-parallelism canary: on a multi-worker pool the whole-batch graph
+    # MUST produce steals (dependents land on the finishing worker's own
+    # queue; any other worker's first task is necessarily a steal) — zero
+    # means the scheduler silently serialized.
+    if sweep.get("threads", 0) > 1 and sweep.get("steals", 0) == 0:
+        failures.append(
+            "zero steals on a {}-worker batch sweep: work-stealing never "
+            "materialized".format(sweep.get("threads"))
+        )
+    print(
+        "sweep: tail-only {:.3f} s vs task-graph {:.3f} s ({:.2f}x) on {} threads, "
+        "{} tasks / {} coalesced / {} steals, critical path {:.3f} s".format(
+            sweep.get("tail_only_wall_s", 0.0),
+            sweep.get("task_graph_wall_s", 0.0),
+            sweep.get("speedup", 0.0),
+            sweep.get("threads", 0),
+            sweep.get("tasks_run", 0),
+            sweep.get("coalesced", 0),
+            sweep.get("steals", 0),
+            sweep.get("critical_path_s", 0.0),
+        )
+    )
+    # Machine-independent gate: the tail-only-vs-task-graph speedup ratio,
+    # both halves measured in the same fresh run.  On a single hardware
+    # thread the ratio sits near 1.0x (the graph engine must merely not be
+    # slower); on real multicore hardware the committed baseline carries
+    # the parallel win and this catches losing it.
+    base_ratio = base_sweep.get("speedup", 0.0)
+    fresh_ratio = sweep.get("speedup", 0.0)
+    if base_ratio > 0 and fresh_ratio < base_ratio * (1.0 - WALL_REGRESSION_LIMIT):
+        failures.append(
+            f"batch-sweep tail-only-vs-task-graph speedup {fresh_ratio:.2f}x vs "
+            f"baseline {base_ratio:.2f}x (> {WALL_REGRESSION_LIMIT:.0%} regression)"
+        )
 
 base_cases = {c["name"]: c for c in baseline["cases"]}
 fresh_cases = {c["name"]: c for c in fresh["cases"]}
@@ -337,22 +387,27 @@ cmake --build "$ASAN_DIR" -j "$(nproc)" --target test_verify
 echo
 echo "test_verify OK under AddressSanitizer"
 
-# --- robustness tests under UBSan and TSan -----------------------------------
+# --- robustness + scheduler tests under UBSan and TSan -----------------------
 # The budget/cancellation/fault-injection paths are counter arithmetic,
-# atomics and cross-thread exception plumbing: run the robustness suite
-# instrumented for undefined behaviour and for data races on every bench
-# invocation.
+# atomics and cross-thread exception plumbing, and the task-graph scheduler
+# adds per-worker deques with stealing on top: run both suites instrumented
+# for undefined behaviour and for data races on every bench invocation.
 
 UBSAN_DIR="$REPO_ROOT/build-ubsan-robustness"
 cmake -B "$UBSAN_DIR" -S "$REPO_ROOT" -DCMAKE_BUILD_TYPE=Release -DQSYN_SANITIZE=undefined
-cmake --build "$UBSAN_DIR" -j "$(nproc)" --target test_robustness
+cmake --build "$UBSAN_DIR" -j "$(nproc)" --target test_robustness test_scheduler
 "$UBSAN_DIR/tests/test_robustness"
+"$UBSAN_DIR/tests/test_scheduler"
 echo
-echo "test_robustness OK under UndefinedBehaviorSanitizer"
+echo "test_robustness + test_scheduler OK under UndefinedBehaviorSanitizer"
 
 TSAN_DIR="$REPO_ROOT/build-tsan-robustness"
 cmake -B "$TSAN_DIR" -S "$REPO_ROOT" -DCMAKE_BUILD_TYPE=Release -DQSYN_SANITIZE=thread
-cmake --build "$TSAN_DIR" -j "$(nproc)" --target test_robustness
+cmake --build "$TSAN_DIR" -j "$(nproc)" --target test_robustness test_scheduler
 "$TSAN_DIR/tests/test_robustness"
+# The scheduler suite under TSan runs at the pool widths the ctest fixtures
+# pin: stealing races only exist with >= 2 workers.
+QSYN_THREADS=2 "$TSAN_DIR/tests/test_scheduler"
+"$TSAN_DIR/tests/test_scheduler"
 echo
-echo "test_robustness OK under ThreadSanitizer"
+echo "test_robustness + test_scheduler OK under ThreadSanitizer"

@@ -1,26 +1,47 @@
 /// \file thread_pool.hpp
-/// \brief Minimal fixed-size thread pool for the parallel DSE engine.
+/// \brief Work-stealing fixed-size thread pool for the task-graph scheduler
+/// and the parallel DSE engine.
 ///
-/// The pool owns `num_threads` workers draining a FIFO job queue.  With
-/// `num_threads <= 1` no worker threads are started and `submit` runs the
-/// job inline, so the sequential and parallel code paths share one call
-/// site and the sequential path stays deterministic and overhead-free.
-/// Every exception thrown by a job is captured; `wait_all()` returns the
-/// full batch, `wait()` rethrows the first and drops the rest (legacy
-/// call sites that treat any job failure as fatal).
+/// The pool owns `num_threads` workers, each with its own double-ended job
+/// queue plus one shared injection queue for jobs submitted from outside
+/// the pool.  A worker runs its own queue newest-first (LIFO — the job it
+/// just spawned is the one whose data is hot), drains the shared queue
+/// next, and finally *steals* the oldest job from another worker's queue
+/// (FIFO — the victim keeps its hot tail, the thief takes the coldest
+/// work).  Jobs submitted from a worker thread land on that worker's own
+/// queue, so a task-graph node that readies its dependents keeps them
+/// local until an idle worker steals them; `steals()` counts successful
+/// steals, the scheduler's dead-parallelism canary.
+///
+/// With `num_threads <= 1` no worker threads are started and `submit` runs
+/// the job inline, so the sequential and parallel code paths share one
+/// call site and the sequential path stays deterministic and
+/// overhead-free.  Every exception thrown by a job is captured;
+/// `wait_all()` returns the full batch, `wait()` rethrows the first and
+/// drops the rest (legacy call sites that treat any job failure as fatal).
 ///
 /// The pool also carries a `cancellation_token`.  `cancel()` flips it;
 /// jobs that poll a `deadline` built from `pool.cancellation()` stop
 /// promptly.  The pool itself never drops queued jobs — accounting for
-/// cancelled work stays with the caller, which keeps per-design status
+/// cancelled work stays with the caller, which keeps per-task status
 /// records accurate.
+///
+/// Queue bookkeeping (the pending-job count, wakeups, error collection)
+/// runs under one pool mutex; each worker deque has its own mutex so
+/// steal probes touch only the victim.  Jobs here are coarse (stage
+/// kernels, synthesis tails — milliseconds to seconds), so the shared
+/// accounting tap is noise; the stealing structure is what spreads work.
 
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
+#include <cstdint>
+#include <cstdlib>
 #include <deque>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -40,10 +61,15 @@ public:
     {
       return;
     }
+    queues_.reserve( num_threads );
+    for ( unsigned t = 0; t < num_threads; ++t )
+    {
+      queues_.push_back( std::make_unique<worker_queue>() );
+    }
     workers_.reserve( num_threads );
     for ( unsigned t = 0; t < num_threads; ++t )
     {
-      workers_.emplace_back( [this] { worker_loop(); } );
+      workers_.emplace_back( [this, t] { worker_loop( t ); } );
     }
   }
 
@@ -64,6 +90,9 @@ public:
   }
 
   /// Enqueues a job (or runs it inline when the pool has no workers).
+  /// Called from one of this pool's own workers, the job lands on that
+  /// worker's queue; from any other thread it lands on the shared
+  /// injection queue.
   void submit( std::function<void()> job )
   {
     if ( workers_.empty() )
@@ -71,9 +100,20 @@ public:
       run_guarded( job );
       return;
     }
+    const auto& ctx = current_worker();
+    if ( ctx.pool == this )
+    {
+      std::unique_lock<std::mutex> queue_lock( queues_[ctx.index]->mutex );
+      queues_[ctx.index]->jobs.push_back( std::move( job ) );
+    }
+    else
     {
       std::unique_lock<std::mutex> lock( mutex_ );
-      queue_.push_back( std::move( job ) );
+      injected_.push_back( std::move( job ) );
+    }
+    {
+      std::unique_lock<std::mutex> lock( mutex_ );
+      ++pending_;
       ++outstanding_;
     }
     wake_workers_.notify_one();
@@ -104,7 +144,7 @@ public:
   }
 
   /// Requests cancellation of in-flight work.  Jobs observe this through
-  /// deadlines built from `cancellation()`; the queue is not dropped.
+  /// deadlines built from `cancellation()`; the queues are not dropped.
   void cancel() noexcept { cancel_token_.request_cancel(); }
 
   [[nodiscard]] bool cancelled() const noexcept { return cancel_token_.cancelled(); }
@@ -115,14 +155,54 @@ public:
   /// Number of worker threads (0 = inline execution).
   unsigned num_workers() const { return static_cast<unsigned>( workers_.size() ); }
 
-  /// The default worker count: the hardware concurrency, at least 1.
+  /// Number of jobs a worker has taken from another worker's queue since
+  /// construction.  Zero on a multi-worker pool that ran a wide job batch
+  /// means the parallelism never materialized (the dead-parallelism
+  /// canary `scripts/run_bench.sh` gates on); inline pools always report 0.
+  [[nodiscard]] std::uint64_t steals() const noexcept
+  {
+    return steals_.load( std::memory_order_relaxed );
+  }
+
+  /// The default worker count: the `QSYN_THREADS` environment variable
+  /// when set (clamped to >= 1, so benches/CI can pin worker counts
+  /// without new flags), otherwise the hardware concurrency, at least 1.
   static unsigned default_num_threads()
   {
+    if ( const char* env = std::getenv( "QSYN_THREADS" ) )
+    {
+      char* end = nullptr;
+      const long parsed = std::strtol( env, &end, 10 );
+      if ( end != env && *end == '\0' )
+      {
+        return parsed < 1 ? 1u : static_cast<unsigned>( parsed );
+      }
+    }
     const auto hw = std::thread::hardware_concurrency();
     return hw == 0u ? 1u : hw;
   }
 
 private:
+  struct worker_queue
+  {
+    std::mutex mutex;
+    std::deque<std::function<void()>> jobs;
+  };
+
+  /// Identifies the pool (and worker slot) the calling thread belongs to,
+  /// so `submit` can route jobs to the caller's own queue.
+  struct worker_context
+  {
+    thread_pool* pool = nullptr;
+    unsigned index = 0;
+  };
+
+  static worker_context& current_worker()
+  {
+    static thread_local worker_context ctx;
+    return ctx;
+  }
+
   void run_guarded( const std::function<void()>& job )
   {
     try
@@ -136,21 +216,79 @@ private:
     }
   }
 
-  void worker_loop()
+  /// Pops the newest job of the worker's own queue (LIFO).
+  bool pop_own( unsigned index, std::function<void()>& job )
   {
+    std::unique_lock<std::mutex> queue_lock( queues_[index]->mutex );
+    if ( queues_[index]->jobs.empty() )
+    {
+      return false;
+    }
+    job = std::move( queues_[index]->jobs.back() );
+    queues_[index]->jobs.pop_back();
+    return true;
+  }
+
+  /// Steals the oldest job of another worker's queue (FIFO), probing
+  /// round-robin from the thief's right-hand neighbour.
+  bool steal( unsigned thief, std::function<void()>& job )
+  {
+    const auto n = queues_.size();
+    for ( std::size_t offset = 1; offset < n; ++offset )
+    {
+      auto& victim = *queues_[( thief + offset ) % n];
+      std::unique_lock<std::mutex> queue_lock( victim.mutex );
+      if ( victim.jobs.empty() )
+      {
+        continue;
+      }
+      job = std::move( victim.jobs.front() );
+      victim.jobs.pop_front();
+      steals_.fetch_add( 1, std::memory_order_relaxed );
+      return true;
+    }
+    return false;
+  }
+
+  void worker_loop( unsigned index )
+  {
+    current_worker() = { this, index };
     for ( ;; )
     {
       std::function<void()> job;
+      bool have_job = pop_own( index, job );
+      if ( !have_job )
       {
         std::unique_lock<std::mutex> lock( mutex_ );
-        wake_workers_.wait( lock, [this] { return stopping_ || !queue_.empty(); } );
-        if ( queue_.empty() )
+        wake_workers_.wait( lock, [this] { return stopping_ || pending_ > 0u; } );
+        if ( pending_ == 0u )
         {
-          return; // stopping_ and drained
+          return; // stopping_ and every queue drained
         }
-        job = std::move( queue_.front() );
-        queue_.pop_front();
+        if ( !injected_.empty() )
+        {
+          job = std::move( injected_.front() );
+          injected_.pop_front();
+          have_job = true;
+        }
+        else
+        {
+          // The pending job sits on some worker's queue: try our own
+          // again (a submit raced the wait), then steal.
+          lock.unlock();
+          have_job = pop_own( index, job ) || steal( index, job );
+          if ( !have_job )
+          {
+            continue; // lost the race to another thief; re-wait
+          }
+        }
       }
+      {
+        std::unique_lock<std::mutex> lock( mutex_ );
+        --pending_;
+      }
+      // Claimed a job another worker may still be waiting for? No: every
+      // claim decrements pending_, and waiters re-check the predicate.
       run_guarded( job );
       {
         std::unique_lock<std::mutex> lock( mutex_ );
@@ -163,13 +301,16 @@ private:
   }
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
+  std::vector<std::unique_ptr<worker_queue>> queues_;
+  std::deque<std::function<void()>> injected_; ///< jobs from non-worker threads
   std::mutex mutex_;
   std::condition_variable wake_workers_;
   std::condition_variable idle_;
-  std::size_t outstanding_ = 0;
+  std::size_t pending_ = 0;     ///< submitted, not yet claimed by a worker
+  std::size_t outstanding_ = 0; ///< submitted, not yet finished
   bool stopping_ = false;
   std::vector<std::exception_ptr> errors_;
+  std::atomic<std::uint64_t> steals_{ 0 };
   cancellation_token cancel_token_;
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <exception>
 #include <iomanip>
+#include <memory>
 #include <sstream>
 
 #include "../common/fault_injection.hpp"
@@ -79,20 +80,86 @@ unsigned resolve_num_threads( const explore_options& options )
   return options.num_threads == 0u ? thread_pool::default_num_threads() : options.num_threads;
 }
 
-/// The shared exploration core: fills `points[i]` from `configs[i]`,
-/// optionally through a shared artifact cache and on a thread pool.  Slots
-/// are written by index, so the result ordering (and, since every tail is
-/// deterministic, every cost number) is identical to the sequential path.
+std::string error_what( const std::exception_ptr& error )
+{
+  if ( !error )
+  {
+    return "unknown error";
+  }
+  try
+  {
+    std::rethrow_exception( error );
+  }
+  catch ( const std::exception& e )
+  {
+    return e.what();
+  }
+  catch ( ... )
+  {
+    return "unknown error";
+  }
+}
+
+bool is_budget_error( const std::exception_ptr& error )
+{
+  if ( !error )
+  {
+    return false;
+  }
+  try
+  {
+    std::rethrow_exception( error );
+  }
+  catch ( const budget_exhausted& )
+  {
+    return true;
+  }
+  catch ( ... )
+  {
+    return false;
+  }
+}
+
+/// Maps a tail task's terminal state back onto its point's status record.
+/// A `done` tail wrote its own result; every other outcome becomes
+/// `timed_out` (budget expiry anywhere in the chain) or `failed`, and a
+/// poisoned tail's detail names the failing stage task — artifact key and
+/// stage name — so a shared-stage failure stays attributable per point.
+void fill_point_status( const task_graph& graph, task_id tail, dse_point& point )
+{
+  const auto state = graph.state( tail );
+  if ( state == task_state::done )
+  {
+    return;
+  }
+  const auto error = graph.error( tail );
+  point.result.status =
+      is_budget_error( error ) ? flow_status::timed_out : flow_status::failed;
+  const auto& blame = graph.blame( tail );
+  if ( state == task_state::poisoned && blame != graph.key( tail ) )
+  {
+    point.result.status_detail = "stage '" + blame + "' failed: " + error_what( error );
+  }
+  else
+  {
+    point.result.status_detail = error_what( error );
+  }
+}
+
+/// The PR 2 engine (`schedule_mode::tail_only`): stage artifacts are
+/// prefetched sequentially, only the per-configuration synthesis tails run
+/// on the pool.  Kept verbatim as the benchmark baseline and the
+/// bit-identity oracle for the task-graph engine.
 ///
 /// Fault tolerance: a configuration that throws — in its prefetched stage
 /// or in its tail — is isolated into its own point's `result.status`
 /// (`timed_out` for budget expiry, `failed` otherwise); the other
 /// configurations are unaffected and the full ordered point list is always
 /// returned.
-std::vector<dse_point> explore_impl( const aig_network& aig,
-                                     const std::vector<flow_params>& configs,
-                                     const explore_options& options,
-                                     flow_artifact_cache* cache, const deadline& stop )
+std::vector<dse_point> explore_tail_only( const aig_network& aig,
+                                          const std::vector<flow_params>& configs,
+                                          const explore_options& options,
+                                          flow_artifact_cache* cache, const deadline& stop )
 {
   std::vector<dse_point> points( configs.size() );
   // One deadline per configuration, armed up front so it covers both the
@@ -104,10 +171,18 @@ std::vector<dse_point> explore_impl( const aig_network& aig,
     stops.push_back( stop.tightened( params.limits.deadline_seconds ) );
   }
   // A stage failure during prefetch belongs to the configurations that
-  // depend on that stage: record it per slot and rethrow it from the slot's
-  // job below.  (Recomputing in the job instead would let a one-shot
-  // injected fault pass on retry and hide the failure.)
-  std::vector<std::exception_ptr> stage_errors( configs.size() );
+  // depend on that stage: record it per slot — together with the artifact
+  // key and stage name it struck, so the status detail can attribute it —
+  // and rethrow it from the slot's job below.  (Recomputing in the job
+  // instead would let a one-shot injected fault pass on retry and hide the
+  // failure.)
+  struct stage_error_record
+  {
+    std::exception_ptr error;
+    std::string key;   ///< artifact key, e.g. "xmg[r=2,k=4]"
+    std::string stage; ///< stage name, e.g. "xmg"
+  };
+  std::vector<stage_error_record> stage_errors( configs.size() );
   if ( cache )
   {
     // Fill the shared stages up front so the concurrent tails only hit.
@@ -119,7 +194,8 @@ std::vector<dse_point> explore_impl( const aig_network& aig,
       }
       catch ( ... )
       {
-        stage_errors[i] = std::current_exception();
+        stage_errors[i] = { std::current_exception(), flow_artifact_key( configs[i] ),
+                            flow_stage_name( configs[i].kind ) };
       }
     }
   }
@@ -133,11 +209,15 @@ std::vector<dse_point> explore_impl( const aig_network& aig,
       auto& point = points[i];
       point.label = dse_label( configs[i] );
       point.params = configs[i];
+      const auto detail_prefix =
+          stage_errors[i].error ? "stage '" + stage_errors[i].key + "' (" +
+                                      stage_errors[i].stage + ") failed: "
+                                : std::string{};
       try
       {
-        if ( stage_errors[i] )
+        if ( stage_errors[i].error )
         {
-          std::rethrow_exception( stage_errors[i] );
+          std::rethrow_exception( stage_errors[i].error );
         }
         if ( stops[i].expired() )
         {
@@ -156,12 +236,12 @@ std::vector<dse_point> explore_impl( const aig_network& aig,
       catch ( const budget_exhausted& e )
       {
         point.result.status = flow_status::timed_out;
-        point.result.status_detail = e.what();
+        point.result.status_detail = detail_prefix + e.what();
       }
       catch ( const std::exception& e )
       {
         point.result.status = flow_status::failed;
-        point.result.status_detail = e.what();
+        point.result.status_detail = detail_prefix + e.what();
       }
     } );
   }
@@ -173,6 +253,88 @@ std::vector<dse_point> explore_impl( const aig_network& aig,
     std::rethrow_exception( errors.front() );
   }
   return points;
+}
+
+/// The task-graph engine (`schedule_mode::task_graph`): one dependency DAG
+/// per exploration — coalesced stage-artifact tasks feeding unique
+/// per-configuration tails — dispatched onto the work-stealing pool, so
+/// distinct artifacts compute concurrently with each other and with every
+/// tail that is already unblocked.  Results are written into
+/// caller-indexed slots and every task is deterministic, so the point list
+/// is bit-identical to `explore_tail_only`.
+std::vector<dse_point> explore_graph( const aig_network& aig,
+                                      const std::vector<flow_params>& configs,
+                                      const explore_options& options,
+                                      flow_artifact_cache* cache, const deadline& stop,
+                                      task_graph_stats* sched )
+{
+  std::vector<dse_point> points( configs.size() );
+  std::vector<deadline> stops;
+  stops.reserve( configs.size() );
+  for ( const auto& params : configs )
+  {
+    stops.push_back( stop.tightened( params.limits.deadline_seconds ) );
+  }
+
+  task_graph graph;
+  std::vector<task_id> tails( configs.size() );
+  for ( std::size_t i = 0; i < configs.size(); ++i )
+  {
+    points[i].label = dse_label( configs[i] );
+    points[i].params = configs[i];
+    if ( cache )
+    {
+      tails[i] =
+          add_flow_tasks( graph, aig, configs[i], *cache, stops[i], points[i].result ).tail;
+    }
+    else
+    {
+      // Uncached exploration: no shared artifacts, so each configuration is
+      // a single independent task running the full staged flow privately —
+      // the exact work the sequential uncached baseline does per slot.
+      tails[i] = graph.add(
+          "tail:" + points[i].label + "#" + std::to_string( graph.size() ),
+          [&aig, &points, &configs, &stops, i] {
+            if ( stops[i].expired() )
+            {
+              throw budget_exhausted( "deadline expired before the configuration started" );
+            }
+            flow_artifact_cache local;
+            points[i].result = run_flow_staged( aig, configs[i], local, stops[i] );
+          } );
+    }
+  }
+
+  // Never start more workers than there are tasks to run.
+  thread_pool pool( static_cast<unsigned>( std::min<std::size_t>(
+      resolve_num_threads( options ), std::max<std::size_t>( graph.size(), 1 ) ) ) );
+  graph.run( pool, stop );
+  for ( std::size_t i = 0; i < configs.size(); ++i )
+  {
+    fill_point_status( graph, tails[i], points[i] );
+  }
+  if ( sched )
+  {
+    *sched = graph.stats();
+  }
+  return points;
+}
+
+std::vector<dse_point> explore_impl( const aig_network& aig,
+                                     const std::vector<flow_params>& configs,
+                                     const explore_options& options,
+                                     flow_artifact_cache* cache, const deadline& stop,
+                                     task_graph_stats* sched = nullptr )
+{
+  if ( options.scheduler == schedule_mode::task_graph )
+  {
+    return explore_graph( aig, configs, options, cache, stop, sched );
+  }
+  if ( sched )
+  {
+    *sched = {};
+  }
+  return explore_tail_only( aig, configs, options, cache, stop );
 }
 
 } // namespace
@@ -208,6 +370,13 @@ std::vector<dse_point> explore( const aig_network& aig, const std::vector<flow_p
   return explore_impl( aig, configs, options, &cache, stop );
 }
 
+std::vector<dse_point> explore( const aig_network& aig, const std::vector<flow_params>& configs,
+                                const explore_options& options, flow_artifact_cache& cache,
+                                const deadline& stop, task_graph_stats& sched_stats )
+{
+  return explore_impl( aig, configs, options, &cache, stop, &sched_stats );
+}
+
 namespace
 {
 
@@ -229,11 +398,32 @@ int status_severity( flow_status status )
   return 0;
 }
 
-} // namespace
+/// Folds the worst point status (and its attributed detail) into the
+/// design-level record.
+void aggregate_design_status( design_exploration& entry )
+{
+  for ( const auto& point : entry.points )
+  {
+    if ( status_severity( point.result.status ) > status_severity( entry.status ) )
+    {
+      entry.status = point.result.status;
+      entry.status_detail = point.label + ": " + point.result.status_detail;
+    }
+  }
+}
 
-std::vector<design_exploration> explore_designs( const std::vector<reciprocal_design>& designs,
-                                                 unsigned min_bitwidth, unsigned max_bitwidth,
-                                                 const explore_options& options )
+std::string design_name( reciprocal_design design, unsigned n )
+{
+  return ( design == reciprocal_design::intdiv ? "INTDIV(" : "NEWTON(" ) +
+         std::to_string( n ) + ")";
+}
+
+/// The PR 6 batch driver (`schedule_mode::tail_only`): designs strictly one
+/// at a time, each through the tail-only exploration core.  Kept as the
+/// benchmark baseline and the bit-identity oracle for the batch graph.
+std::vector<design_exploration> explore_designs_serial(
+    const std::vector<reciprocal_design>& designs, unsigned min_bitwidth,
+    unsigned max_bitwidth, const explore_options& options )
 {
   const auto sweep_stop = deadline::in( options.sweep_deadline_seconds );
   std::vector<design_exploration> explorations;
@@ -244,8 +434,7 @@ std::vector<design_exploration> explore_designs( const std::vector<reciprocal_de
       design_exploration entry;
       entry.design = design;
       entry.bitwidth = n;
-      entry.name = ( design == reciprocal_design::intdiv ? "INTDIV(" : "NEWTON(" ) +
-                   std::to_string( n ) + ")";
+      entry.name = design_name( design, n );
       stopwatch watch;
       // Per-design failure isolation: elaboration errors and sweep-budget
       // expiry become this design's status record; the sweep continues
@@ -277,14 +466,7 @@ std::vector<design_exploration> explore_designs( const std::vector<reciprocal_de
         {
           entry.points = explore_impl( mod.aig, configs, options, nullptr, sweep_stop );
         }
-        for ( const auto& point : entry.points )
-        {
-          if ( status_severity( point.result.status ) > status_severity( entry.status ) )
-          {
-            entry.status = point.result.status;
-            entry.status_detail = point.label + ": " + point.result.status_detail;
-          }
-        }
+        aggregate_design_status( entry );
       }
       catch ( const budget_exhausted& e )
       {
@@ -301,6 +483,190 @@ std::vector<design_exploration> explore_designs( const std::vector<reciprocal_de
     }
   }
   return explorations;
+}
+
+/// One design's slot in the batch graph.  Heap-pinned (the task lambdas
+/// keep pointers into it) and written strictly by the design's own tasks:
+/// the elaborate task fills `aig`, the stage/tail tasks go through
+/// `cache`/`points`.  Task keys are prefixed with the design name, so
+/// coalescing never crosses designs — each design keeps its own artifact
+/// cache exactly like the serial sweep.
+struct design_build
+{
+  design_exploration entry;
+  std::vector<flow_params> configs;
+  std::vector<dse_point> points;
+  std::unique_ptr<flow_artifact_cache> cache;
+  aig_network aig;
+  task_id elaborate = 0;
+  std::vector<task_id> tails;
+  task_id first_task = 0; ///< [first_task, last_task) are this design's tasks
+  task_id last_task = 0;
+};
+
+/// The batch graph (`schedule_mode::task_graph`): the whole sweep is ONE
+/// task graph — per-design elaboration tasks feeding that design's stage
+/// artifacts and synthesis tails — so different designs overlap on the
+/// pool instead of running strictly one at a time.  Failure isolation now
+/// falls out of poisoning: a failed elaboration poisons exactly that
+/// design's tasks, a failed shared stage poisons exactly its dependent
+/// tails.
+std::vector<design_exploration> explore_designs_graph(
+    const std::vector<reciprocal_design>& designs, unsigned min_bitwidth,
+    unsigned max_bitwidth, const explore_options& options, task_graph_stats* sched )
+{
+  const auto sweep_stop = deadline::in( options.sweep_deadline_seconds );
+  task_graph graph;
+  std::vector<std::unique_ptr<design_build>> builds;
+  for ( unsigned n = min_bitwidth; n <= max_bitwidth; ++n )
+  {
+    for ( const auto design : designs )
+    {
+      auto build = std::make_unique<design_build>();
+      design_build* slot = build.get();
+      slot->entry.design = design;
+      slot->entry.bitwidth = n;
+      slot->entry.name = design_name( design, n );
+      slot->configs = default_dse_configurations( n <= options.functional_max_bitwidth );
+      for ( auto& config : slot->configs )
+      {
+        config.verify = options.verification != verify_mode::none;
+        config.verification = options.verification;
+        config.limits = options.limits;
+      }
+      slot->points.resize( slot->configs.size() );
+      if ( options.use_cache )
+      {
+        slot->cache = std::make_unique<flow_artifact_cache>();
+      }
+      slot->first_task = graph.size();
+      const auto prefix = slot->entry.name + "/";
+      slot->elaborate = graph.add( prefix + "elaborate", [slot, design, n, sweep_stop] {
+        if ( sweep_stop.expired() )
+        {
+          throw budget_exhausted( "sweep deadline expired before the design started" );
+        }
+        fault_injection::poll( "dse.elaborate" );
+        slot->aig =
+            verilog::elaborate_verilog( reciprocal_verilog( design, n ), slot->entry.name )
+                .aig;
+      } );
+      for ( std::size_t i = 0; i < slot->configs.size(); ++i )
+      {
+        const auto cfg_stop =
+            sweep_stop.tightened( slot->configs[i].limits.deadline_seconds );
+        slot->points[i].label = dse_label( slot->configs[i] );
+        slot->points[i].params = slot->configs[i];
+        if ( slot->cache )
+        {
+          slot->tails.push_back( add_flow_tasks( graph, slot->aig, slot->configs[i],
+                                                 *slot->cache, cfg_stop,
+                                                 slot->points[i].result, prefix,
+                                                 { slot->elaborate } )
+                                     .tail );
+        }
+        else
+        {
+          slot->tails.push_back( graph.add(
+              prefix + "tail:" + slot->points[i].label + "#" + std::to_string( graph.size() ),
+              [slot, i, cfg_stop] {
+                if ( cfg_stop.expired() )
+                {
+                  throw budget_exhausted( "deadline expired before the configuration started" );
+                }
+                flow_artifact_cache local;
+                slot->points[i].result =
+                    run_flow_staged( slot->aig, slot->configs[i], local, cfg_stop );
+              },
+              { slot->elaborate } ) );
+        }
+      }
+      slot->last_task = graph.size();
+      builds.push_back( std::move( build ) );
+    }
+  }
+
+  thread_pool pool( static_cast<unsigned>( std::min<std::size_t>(
+      resolve_num_threads( options ), std::max<std::size_t>( graph.size(), 1 ) ) ) );
+  graph.run( pool, sweep_stop );
+
+  std::vector<design_exploration> explorations;
+  explorations.reserve( builds.size() );
+  for ( auto& build : builds )
+  {
+    auto& entry = build->entry;
+    if ( graph.state( build->elaborate ) == task_state::done )
+    {
+      entry.points = std::move( build->points );
+      for ( std::size_t i = 0; i < build->tails.size(); ++i )
+      {
+        fill_point_status( graph, build->tails[i], entry.points[i] );
+      }
+      aggregate_design_status( entry );
+      if ( build->cache )
+      {
+        entry.cache = build->cache->stats();
+      }
+    }
+    else
+    {
+      // Elaboration failed, timed out, or was cancelled by the sweep
+      // deadline: the design keeps the serial contract — empty point list,
+      // design-level status record.
+      const auto error = graph.error( build->elaborate );
+      entry.status = is_budget_error( error ) ? flow_status::timed_out : flow_status::failed;
+      entry.status_detail = error_what( error );
+    }
+    // Wall clock of this design = span of its own tasks inside the batch
+    // run (0 when nothing of it ever started).
+    double first = 0.0, last = 0.0;
+    bool ran = false;
+    for ( task_id id = build->first_task; id < build->last_task; ++id )
+    {
+      const auto start = graph.start_seconds( id );
+      if ( start < 0.0 )
+      {
+        continue;
+      }
+      const auto end = std::max( start, graph.end_seconds( id ) );
+      first = ran ? std::min( first, start ) : start;
+      last = ran ? std::max( last, end ) : end;
+      ran = true;
+    }
+    entry.wall_seconds = ran ? last - first : 0.0;
+    explorations.push_back( std::move( entry ) );
+  }
+  if ( sched )
+  {
+    *sched = graph.stats();
+  }
+  return explorations;
+}
+
+} // namespace
+
+std::vector<design_exploration> explore_designs( const std::vector<reciprocal_design>& designs,
+                                                 unsigned min_bitwidth, unsigned max_bitwidth,
+                                                 const explore_options& options )
+{
+  if ( options.scheduler == schedule_mode::task_graph )
+  {
+    return explore_designs_graph( designs, min_bitwidth, max_bitwidth, options, nullptr );
+  }
+  return explore_designs_serial( designs, min_bitwidth, max_bitwidth, options );
+}
+
+std::vector<design_exploration> explore_designs( const std::vector<reciprocal_design>& designs,
+                                                 unsigned min_bitwidth, unsigned max_bitwidth,
+                                                 const explore_options& options,
+                                                 task_graph_stats& sched_stats )
+{
+  if ( options.scheduler == schedule_mode::task_graph )
+  {
+    return explore_designs_graph( designs, min_bitwidth, max_bitwidth, options, &sched_stats );
+  }
+  sched_stats = {};
+  return explore_designs_serial( designs, min_bitwidth, max_bitwidth, options );
 }
 
 std::vector<std::size_t> pareto_front( const std::vector<dse_point>& points )

@@ -32,12 +32,33 @@ struct dse_point
   flow_result result;
 };
 
+/// How an exploration is scheduled onto the thread pool.
+enum class schedule_mode
+{
+  /// The PR 2 engine, kept as the comparison baseline: stage artifacts
+  /// are prefilled sequentially per design, only the per-configuration
+  /// synthesis tails run on the pool, and `explore_designs` sweeps
+  /// designs strictly one at a time.
+  tail_only,
+  /// The whole pipeline as a dependency DAG (`core/task_graph.hpp`) on
+  /// the work-stealing pool: stage artifacts, synthesis tails, and — in
+  /// `explore_designs` — entire designs run concurrently, duplicate
+  /// artifact requests coalesce onto one in-flight task, and a failing
+  /// task poisons only its dependents.  Bit-identical results to
+  /// `tail_only`; only the wall clock (and failure *attribution* detail,
+  /// which now names the shared artifact task) changes.
+  task_graph
+};
+
 /// Tuning knobs of the exploration engine.
 struct explore_options
 {
   /// Worker threads for the per-configuration synthesis tails.
-  /// 0 = hardware concurrency, 1 = run inline (fully sequential).
+  /// 0 = `thread_pool::default_num_threads()` (hardware concurrency,
+  /// overridable via QSYN_THREADS), 1 = run inline (fully sequential).
   unsigned num_threads = 0;
+  /// Execution engine (see `schedule_mode`); `task_graph` by default.
+  schedule_mode scheduler = schedule_mode::task_graph;
   /// Share stage artifacts across configurations.  Disabling this (with
   /// num_threads = 1) reproduces the original one-shot-per-configuration
   /// sequential path exactly, which the benchmark uses as its baseline.
@@ -83,6 +104,12 @@ std::vector<dse_point> explore( const aig_network& aig, const std::vector<flow_p
 std::vector<dse_point> explore( const aig_network& aig, const std::vector<flow_params>& configs,
                                 const explore_options& options, flow_artifact_cache& cache,
                                 const deadline& stop );
+/// As above, additionally reporting the scheduler statistics of the run
+/// (tasks run/coalesced, steals, wall vs critical path).  Under
+/// `schedule_mode::tail_only` the statistics are zeroed — there is no graph.
+std::vector<dse_point> explore( const aig_network& aig, const std::vector<flow_params>& configs,
+                                const explore_options& options, flow_artifact_cache& cache,
+                                const deadline& stop, task_graph_stats& sched_stats );
 
 /// One design of a batch exploration.
 struct design_exploration
@@ -110,6 +137,15 @@ struct design_exploration
 std::vector<design_exploration> explore_designs( const std::vector<reciprocal_design>& designs,
                                                  unsigned min_bitwidth, unsigned max_bitwidth,
                                                  const explore_options& options = {} );
+/// As above, additionally reporting the scheduler statistics of the whole
+/// batch.  Under `schedule_mode::task_graph` the batch is ONE graph — every
+/// design's elaboration, stage artifacts, and synthesis tails — so designs
+/// overlap on the pool; under `tail_only` designs run strictly one at a
+/// time and the statistics are zeroed.
+std::vector<design_exploration> explore_designs( const std::vector<reciprocal_design>& designs,
+                                                 unsigned min_bitwidth, unsigned max_bitwidth,
+                                                 const explore_options& options,
+                                                 task_graph_stats& sched_stats );
 
 /// Indices of the Pareto-optimal points (minimizing qubits and T-count).
 std::vector<std::size_t> pareto_front( const std::vector<dse_point>& points );

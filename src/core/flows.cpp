@@ -4,6 +4,7 @@
 
 #include "../common/fault_injection.hpp"
 #include "../common/timer.hpp"
+#include "dse.hpp" // dse_label for tail task keys
 #include "../reversible/verify.hpp"
 #include "../sat/incremental.hpp"
 #include "../synth/aig_optimize.hpp"
@@ -274,6 +275,106 @@ cache_stats flow_artifact_cache::stats() const
 {
   std::lock_guard<std::mutex> lock( mutex_ );
   return stats_;
+}
+
+// --- task-graph builder ------------------------------------------------------
+
+std::string flow_stage_name( flow_kind kind )
+{
+  switch ( kind )
+  {
+  case flow_kind::functional:
+    return "collapse";
+  case flow_kind::esop_based:
+    return "esop";
+  case flow_kind::hierarchical:
+    return "xmg";
+  }
+  return "unknown";
+}
+
+std::string optimize_artifact_key( unsigned rounds )
+{
+  return "optimize[r=" + std::to_string( rounds ) + "]";
+}
+
+std::string flow_artifact_key( const flow_params& params )
+{
+  const auto r = std::to_string( params.optimization_rounds );
+  switch ( params.kind )
+  {
+  case flow_kind::functional:
+    return "collapse[r=" + r + "]";
+  case flow_kind::esop_based:
+    return "esop[r=" + r + ",exo=" + ( params.run_exorcism ? "1" : "0" ) + "]";
+  case flow_kind::hierarchical:
+    return "xmg[r=" + r + ",k=" + std::to_string( params.cut_size ) + "]";
+  }
+  return "unknown";
+}
+
+flow_task_ids add_flow_tasks( task_graph& graph, const aig_network& aig,
+                              const flow_params& params, flow_artifact_cache& cache,
+                              const deadline& stop, flow_result& out,
+                              const std::string& key_prefix,
+                              const std::vector<task_id>& extra_deps )
+{
+  flow_task_ids ids;
+  ids.optimize = graph.add_shared(
+      key_prefix + optimize_artifact_key( params.optimization_rounds ),
+      [&aig, &cache, rounds = params.optimization_rounds] { cache.optimized( aig, rounds ); },
+      extra_deps );
+
+  const auto artifact_key = key_prefix + flow_artifact_key( params );
+  switch ( params.kind )
+  {
+  case flow_kind::functional:
+    ids.artifact = graph.add_shared(
+        artifact_key,
+        [&aig, &cache, rounds = params.optimization_rounds] {
+          cache.functional_intermediate( aig, rounds );
+        },
+        { ids.optimize } );
+    break;
+  case flow_kind::esop_based:
+  {
+    exorcism_params mlimits;
+    mlimits.pair_budget = params.limits.exorcism_pair_budget;
+    mlimits.stop = stop;
+    ids.artifact = graph.add_shared(
+        artifact_key,
+        [&aig, &cache, rounds = params.optimization_rounds,
+         run_exorcism = params.run_exorcism, mlimits] {
+          cache.esop_intermediate( aig, rounds, run_exorcism, mlimits );
+        },
+        { ids.optimize } );
+    break;
+  }
+  case flow_kind::hierarchical:
+    ids.artifact = graph.add_shared(
+        artifact_key,
+        [&aig, &cache, rounds = params.optimization_rounds, cut = params.cut_size] {
+          cache.xmg_intermediate( aig, rounds, cut );
+        },
+        { ids.optimize } );
+    break;
+  }
+
+  // Unique (unkeyed) per-configuration tail: every stage lookup inside
+  // run_flow_staged hits the cache the artifact tasks just filled, so the
+  // tail is pure synthesis + verification.  The pre-start deadline check
+  // keeps the tail-only engine's timed_out contract.
+  ids.tail = graph.add(
+      key_prefix + "tail:" + dse_label( params ) + "#" + std::to_string( graph.size() ),
+      [&aig, &cache, &out, params, stop] {
+        if ( stop.expired() )
+        {
+          throw budget_exhausted( "deadline expired before the configuration started" );
+        }
+        out = run_flow_staged( aig, params, cache, stop );
+      },
+      { ids.artifact } );
+  return ids;
 }
 
 // --- staged flow driver ------------------------------------------------------

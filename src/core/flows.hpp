@@ -50,6 +50,7 @@
 
 #include "../common/budget.hpp"
 #include "../embed/embedding.hpp"
+#include "task_graph.hpp"
 #include "../logic/aig.hpp"
 #include "../logic/truth_table.hpp"
 #include "../reversible/circuit.hpp"
@@ -278,6 +279,47 @@ private:
   unsigned bound_pos_ = 0;    ///< (size fingerprint only — equal-sized distinct
   std::size_t bound_ands_ = 0; ///< designs are NOT detected; contract above)
 };
+
+/// Stage name of a flow's backend intermediate ("collapse", "esop",
+/// "xmg") — the fault-injection site suffix and the middle node of the
+/// flow's task chain.
+std::string flow_stage_name( flow_kind kind );
+
+/// Task/cache key of the optimized-AIG artifact, e.g. "optimize[r=2]".
+std::string optimize_artifact_key( unsigned rounds );
+
+/// Task/cache key of the backend intermediate artifact — the exact
+/// parameter subset `flow_artifact_cache` keys the stage on:
+/// "collapse[r=2]", "esop[r=2,exo=1]", or "xmg[r=2,k=4]".
+std::string flow_artifact_key( const flow_params& params );
+
+/// Task ids of one staged flow added to a graph by `add_flow_tasks`.
+struct flow_task_ids
+{
+  task_id optimize = 0; ///< optimized-AIG artifact (shared across kinds)
+  task_id artifact = 0; ///< backend intermediate artifact (shared per key)
+  task_id tail = 0;     ///< per-configuration synthesis tail + verify
+};
+
+/// Adds the staged flow of `params` to `graph` as a dependency chain
+/// `optimize → backend intermediate → synthesis tail`, returning the
+/// three task ids.  Artifact tasks are keyed `key_prefix +
+/// optimize_artifact_key/flow_artifact_key` via `task_graph::add_shared`,
+/// so configurations (or repeat calls) sharing an artifact coalesce onto
+/// ONE task — the first caller's budget limits apply to the shared stage,
+/// mirroring `flow_artifact_cache::esop_intermediate`'s
+/// first-computation-wins contract.  The tail task runs
+/// `run_flow_staged` (every stage lookup then hits) and assigns `out`;
+/// `aig`, `cache`, and `out` must outlive the graph run.  `extra_deps`
+/// are prepended to the optimize task's dependencies (e.g. a per-design
+/// elaboration task).  A failing stage task poisons only the tails that
+/// depend on it; the DSE layer maps the poisoned tasks' blame keys back
+/// into `flow_status` records.
+flow_task_ids add_flow_tasks( task_graph& graph, const aig_network& aig,
+                              const flow_params& params, flow_artifact_cache& cache,
+                              const deadline& stop, flow_result& out,
+                              const std::string& key_prefix = {},
+                              const std::vector<task_id>& extra_deps = {} );
 
 /// Runs a flow on an already-elaborated AIG, reading shared stage
 /// artifacts from (and adding missing ones to) the given cache.  Cost and

@@ -1,0 +1,398 @@
+#include "task_graph.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <stdexcept>
+
+#include "../common/thread_pool.hpp"
+
+namespace qsyn
+{
+
+std::string task_state_name( task_state state )
+{
+  switch ( state )
+  {
+  case task_state::pending:
+    return "pending";
+  case task_state::running:
+    return "running";
+  case task_state::done:
+    return "done";
+  case task_state::failed:
+    return "failed";
+  case task_state::poisoned:
+    return "poisoned";
+  case task_state::cancelled:
+    return "cancelled";
+  }
+  return "unknown";
+}
+
+namespace
+{
+
+using graph_clock = std::chrono::steady_clock;
+
+struct task_node
+{
+  std::string key;
+  std::function<void()> fn;
+  std::vector<task_id> deps;
+  std::vector<task_id> dependents;
+  std::size_t remaining = 0; ///< unresolved dependencies
+  task_state state = task_state::pending;
+  std::exception_ptr error;
+  std::string blame; ///< failing ancestor's key (poisoned), own key (failed/cancelled)
+  double start_s = -1.0;
+  double end_s = -1.0;
+};
+
+} // namespace
+
+struct task_graph::impl
+{
+  mutable std::mutex mutex;
+  std::condition_variable all_terminal;
+  std::vector<task_node> nodes;
+  std::unordered_map<std::string, task_id> shared_keys;
+  task_graph_stats stats;
+  bool running = false;
+  bool ran = false;
+  std::size_t terminal = 0;
+  graph_clock::time_point run_start{};
+  deadline stop;
+  thread_pool* pool = nullptr;
+  const std::string empty;
+
+  double since_start() const
+  {
+    return std::chrono::duration<double>( graph_clock::now() - run_start ).count();
+  }
+
+  /// Marks `id` terminal in `state` (mutex held).  Returns true when the
+  /// whole graph just finished.
+  bool finalize_locked( task_id id, task_state state )
+  {
+    nodes[id].state = state;
+    switch ( state )
+    {
+    case task_state::done:
+      ++stats.tasks_run;
+      break;
+    case task_state::failed:
+      ++stats.tasks_failed;
+      break;
+    case task_state::poisoned:
+      ++stats.tasks_poisoned;
+      break;
+    case task_state::cancelled:
+      ++stats.tasks_cancelled;
+      break;
+    case task_state::pending:
+    case task_state::running:
+      assert( false && "finalize_locked requires a terminal state" );
+      break;
+    }
+    return ++terminal == nodes.size();
+  }
+
+  /// Poisons every not-yet-started transitive dependent of `origin`
+  /// (mutex held), propagating the ultimate ancestor's blame/error (so a
+  /// poisoned node's own dependents inherit the original key, not the
+  /// intermediate one).  Returns true when the graph just finished.
+  bool poison_dependents_locked( task_id origin )
+  {
+    bool finished = false;
+    const auto& blame_key = nodes[origin].blame.empty() ? nodes[origin].key
+                                                        : nodes[origin].blame;
+    const auto error = nodes[origin].error;
+    std::vector<task_id> frontier = nodes[origin].dependents;
+    while ( !frontier.empty() )
+    {
+      const auto id = frontier.back();
+      frontier.pop_back();
+      auto& node = nodes[id];
+      if ( node.state != task_state::pending )
+      {
+        continue; // already terminal (poisoned through another ancestor)
+      }
+      node.blame = blame_key;
+      node.error = error;
+      finished = finalize_locked( id, task_state::poisoned ) || finished;
+      frontier.insert( frontier.end(), node.dependents.begin(), node.dependents.end() );
+    }
+    return finished;
+  }
+
+  void submit( task_id id );
+
+  void execute( task_id id )
+  {
+    {
+      std::unique_lock<std::mutex> lock( mutex );
+      auto& node = nodes[id];
+      if ( node.state != task_state::pending )
+      {
+        return; // poisoned after being submitted; nothing to run
+      }
+      if ( stop.expired() )
+      {
+        node.blame = node.key;
+        node.error = std::make_exception_ptr( budget_exhausted(
+            "task graph deadline expired before task '" + node.key + "' started" ) );
+        bool finished = finalize_locked( id, task_state::cancelled );
+        finished = poison_dependents_locked( id ) || finished;
+        if ( finished )
+        {
+          all_terminal.notify_all();
+        }
+        return;
+      }
+      node.state = task_state::running;
+      node.start_s = since_start();
+    }
+
+    std::exception_ptr error;
+    try
+    {
+      nodes[id].fn();
+    }
+    catch ( ... )
+    {
+      error = std::current_exception();
+    }
+
+    std::vector<task_id> ready;
+    bool finished = false;
+    {
+      std::unique_lock<std::mutex> lock( mutex );
+      auto& node = nodes[id];
+      node.end_s = since_start();
+      if ( error )
+      {
+        node.error = error;
+        node.blame = node.key;
+        finished = finalize_locked( id, task_state::failed );
+        finished = poison_dependents_locked( id ) || finished;
+      }
+      else
+      {
+        finished = finalize_locked( id, task_state::done );
+        for ( const auto dep_id : node.dependents )
+        {
+          auto& dependent = nodes[dep_id];
+          if ( --dependent.remaining == 0 && dependent.state == task_state::pending )
+          {
+            ready.push_back( dep_id );
+          }
+        }
+      }
+    }
+    if ( finished )
+    {
+      all_terminal.notify_all();
+    }
+    // Submitted outside the lock: an inline pool runs the whole dependent
+    // cascade right here (recursively, in insertion order — the
+    // single-thread determinism contract), a worker pool pushes them onto
+    // this worker's own queue for LIFO pickup or stealing.
+    for ( const auto ready_id : ready )
+    {
+      submit( ready_id );
+    }
+  }
+};
+
+void task_graph::impl::submit( task_id id )
+{
+  pool->submit( [this, id] { execute( id ); } );
+}
+
+task_graph::task_graph()
+    : impl_( std::make_unique<impl>() )
+{
+}
+
+task_graph::~task_graph() = default;
+
+task_id task_graph::add( std::string key, std::function<void()> fn,
+                         const std::vector<task_id>& deps )
+{
+  auto& g = *impl_;
+  if ( g.running || g.ran )
+  {
+    throw std::logic_error( "task_graph: cannot add tasks to a running/finished graph" );
+  }
+  const task_id id = g.nodes.size();
+  for ( const auto dep : deps )
+  {
+    if ( dep >= id )
+    {
+      throw std::invalid_argument( "task_graph: dependencies must be already-added tasks" );
+    }
+  }
+  task_node node;
+  node.key = std::move( key );
+  node.fn = std::move( fn );
+  node.deps = deps;
+  node.remaining = deps.size();
+  g.nodes.push_back( std::move( node ) );
+  for ( const auto dep : deps )
+  {
+    g.nodes[dep].dependents.push_back( id );
+  }
+  ++g.stats.tasks_added;
+  return id;
+}
+
+task_id task_graph::add_shared( const std::string& key, std::function<void()> fn,
+                                const std::vector<task_id>& deps )
+{
+  auto& g = *impl_;
+  const auto it = g.shared_keys.find( key );
+  if ( it != g.shared_keys.end() )
+  {
+    ++g.stats.coalesced;
+    return it->second;
+  }
+  const auto id = add( key, std::move( fn ), deps );
+  g.shared_keys.emplace( key, id );
+  return id;
+}
+
+std::optional<task_id> task_graph::find( const std::string& key ) const
+{
+  const auto it = impl_->shared_keys.find( key );
+  return it == impl_->shared_keys.end() ? std::nullopt : std::optional<task_id>( it->second );
+}
+
+std::size_t task_graph::size() const
+{
+  return impl_->nodes.size();
+}
+
+void task_graph::run( thread_pool& pool )
+{
+  run( pool, deadline{} );
+}
+
+void task_graph::run( thread_pool& pool, const deadline& stop )
+{
+  auto& g = *impl_;
+  if ( g.running || g.ran )
+  {
+    throw std::logic_error( "task_graph: a graph runs exactly once" );
+  }
+  g.running = true;
+  g.stop = stop;
+  g.pool = &pool;
+  g.run_start = graph_clock::now();
+  const auto steals_before = pool.steals();
+
+  std::vector<task_id> seeds;
+  {
+    std::unique_lock<std::mutex> lock( g.mutex );
+    for ( task_id id = 0; id < g.nodes.size(); ++id )
+    {
+      if ( g.nodes[id].remaining == 0 )
+      {
+        seeds.push_back( id );
+      }
+    }
+  }
+  for ( const auto id : seeds )
+  {
+    g.submit( id );
+  }
+
+  {
+    std::unique_lock<std::mutex> lock( g.mutex );
+    g.all_terminal.wait( lock, [&g] { return g.terminal == g.nodes.size(); } );
+  }
+  // Every execute() call catches its task's exception itself; anything the
+  // pool still collected is a scheduler bug and worth a loud rethrow.
+  const auto errors = pool.wait_all();
+  if ( !errors.empty() )
+  {
+    std::rethrow_exception( errors.front() );
+  }
+
+  std::unique_lock<std::mutex> lock( g.mutex );
+  g.stats.steals = pool.steals() - steals_before;
+  g.stats.wall_seconds = g.since_start();
+  // Critical path: edges always point from lower to higher id, so one
+  // forward pass over the measured durations is a topological DP.
+  std::vector<double> longest( g.nodes.size(), 0.0 );
+  double critical = 0.0;
+  for ( task_id id = 0; id < g.nodes.size(); ++id )
+  {
+    const auto& node = g.nodes[id];
+    const double duration =
+        ( node.start_s >= 0.0 && node.end_s >= 0.0 ) ? node.end_s - node.start_s : 0.0;
+    double upstream = 0.0;
+    for ( const auto dep : node.deps )
+    {
+      upstream = std::max( upstream, longest[dep] );
+    }
+    longest[id] = upstream + duration;
+    critical = std::max( critical, longest[id] );
+  }
+  g.stats.critical_path_seconds = critical;
+  g.running = false;
+  g.ran = true;
+}
+
+task_state task_graph::state( task_id id ) const
+{
+  std::unique_lock<std::mutex> lock( impl_->mutex );
+  return impl_->nodes.at( id ).state;
+}
+
+std::exception_ptr task_graph::error( task_id id ) const
+{
+  std::unique_lock<std::mutex> lock( impl_->mutex );
+  return impl_->nodes.at( id ).error;
+}
+
+const std::string& task_graph::blame( task_id id ) const
+{
+  std::unique_lock<std::mutex> lock( impl_->mutex );
+  const auto& node = impl_->nodes.at( id );
+  return node.blame.empty() ? impl_->empty : node.blame;
+}
+
+const std::string& task_graph::key( task_id id ) const
+{
+  return impl_->nodes.at( id ).key;
+}
+
+double task_graph::task_seconds( task_id id ) const
+{
+  std::unique_lock<std::mutex> lock( impl_->mutex );
+  const auto& node = impl_->nodes.at( id );
+  return ( node.start_s >= 0.0 && node.end_s >= 0.0 ) ? node.end_s - node.start_s : 0.0;
+}
+
+double task_graph::start_seconds( task_id id ) const
+{
+  std::unique_lock<std::mutex> lock( impl_->mutex );
+  return impl_->nodes.at( id ).start_s;
+}
+
+double task_graph::end_seconds( task_id id ) const
+{
+  std::unique_lock<std::mutex> lock( impl_->mutex );
+  return impl_->nodes.at( id ).end_s;
+}
+
+task_graph_stats task_graph::stats() const
+{
+  std::unique_lock<std::mutex> lock( impl_->mutex );
+  return impl_->stats;
+}
+
+} // namespace qsyn

@@ -1,0 +1,476 @@
+/// Scheduler suite: the work-stealing thread pool, the task-graph engine,
+/// and the graph-built DSE explorations.  The central invariants:
+///
+///   * QSYN_THREADS pins the default worker count (the ctest `scheduler`
+///     fixtures run this whole binary at 1, 2, and hardware threads),
+///   * a task graph respects every dependency edge, coalesces shared keys
+///     onto one in-flight task, and isolates failure to the failing task's
+///     transitive dependents — with the original task's key as blame,
+///   * graph-scheduled explorations are bit-identical to the tail-only
+///     engine on every flow kind, for single designs and whole batches,
+///   * stage failures stay attributable per point: the status detail names
+///     the artifact key and stage that failed, shared task or not.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/budget.hpp"
+#include "common/fault_injection.hpp"
+#include "common/thread_pool.hpp"
+#include "core/dse.hpp"
+#include "core/task_graph.hpp"
+#include "verilog/elaborator.hpp"
+
+using namespace qsyn;
+
+namespace
+{
+
+/// Saves and restores QSYN_THREADS, so the env-override test cannot leak a
+/// pinned value into the rest of the (possibly fixture-pinned) binary.
+struct env_guard
+{
+  bool had = false;
+  std::string saved;
+  env_guard()
+  {
+    if ( const char* value = std::getenv( "QSYN_THREADS" ) )
+    {
+      had = true;
+      saved = value;
+    }
+  }
+  ~env_guard()
+  {
+    if ( had )
+    {
+      setenv( "QSYN_THREADS", saved.c_str(), 1 );
+    }
+    else
+    {
+      unsetenv( "QSYN_THREADS" );
+    }
+  }
+};
+
+/// RAII disarm so an assertion failure cannot leak an armed site into
+/// later tests.
+struct fault_guard
+{
+  ~fault_guard() { fault_injection::disarm_all(); }
+};
+
+bool same_costs( const dse_point& a, const dse_point& b )
+{
+  return a.label == b.label && a.result.costs.qubits == b.result.costs.qubits &&
+         a.result.costs.t_count == b.result.costs.t_count &&
+         a.result.costs.gates == b.result.costs.gates &&
+         a.result.esop_terms == b.result.esop_terms;
+}
+
+std::string what_of( const std::exception_ptr& error )
+{
+  try
+  {
+    std::rethrow_exception( error );
+  }
+  catch ( const std::exception& e )
+  {
+    return e.what();
+  }
+  catch ( ... )
+  {
+    return "";
+  }
+}
+
+} // namespace
+
+// --- QSYN_THREADS ------------------------------------------------------------
+
+TEST( scheduler_env, qsyn_threads_overrides_default_num_threads )
+{
+  env_guard guard;
+  setenv( "QSYN_THREADS", "3", 1 );
+  EXPECT_EQ( thread_pool::default_num_threads(), 3u );
+  setenv( "QSYN_THREADS", "1", 1 );
+  EXPECT_EQ( thread_pool::default_num_threads(), 1u );
+  // Non-positive values clamp to 1 instead of starting zero workers.
+  setenv( "QSYN_THREADS", "0", 1 );
+  EXPECT_EQ( thread_pool::default_num_threads(), 1u );
+  setenv( "QSYN_THREADS", "-4", 1 );
+  EXPECT_EQ( thread_pool::default_num_threads(), 1u );
+  // Unparsable values fall back to the hardware default, never 0.
+  setenv( "QSYN_THREADS", "not-a-number", 1 );
+  EXPECT_GE( thread_pool::default_num_threads(), 1u );
+  unsetenv( "QSYN_THREADS" );
+  EXPECT_GE( thread_pool::default_num_threads(), 1u );
+}
+
+// --- work stealing -----------------------------------------------------------
+
+TEST( scheduler_pool, jobs_spawned_by_a_worker_can_be_stolen )
+{
+  thread_pool pool( 2 );
+  ASSERT_EQ( pool.num_workers(), 2u );
+  std::atomic<int> ran{ 0 };
+  // The parent job runs on one worker and pushes all children onto that
+  // worker's own deque; the other worker has nothing and must steal.  The
+  // children sleep long enough that the idle worker always gets a turn.
+  pool.submit( [&pool, &ran] {
+    for ( int i = 0; i < 16; ++i )
+    {
+      pool.submit( [&ran] {
+        std::this_thread::sleep_for( std::chrono::milliseconds( 2 ) );
+        ran.fetch_add( 1 );
+      } );
+    }
+  } );
+  pool.wait();
+  EXPECT_EQ( ran.load(), 16 );
+  EXPECT_GE( pool.steals(), 1u );
+}
+
+TEST( scheduler_pool, inline_pool_never_steals )
+{
+  thread_pool pool( 1 );
+  for ( int i = 0; i < 8; ++i )
+  {
+    pool.submit( [] {} );
+  }
+  pool.wait();
+  EXPECT_EQ( pool.steals(), 0u );
+}
+
+// --- task graph: shapes ------------------------------------------------------
+
+TEST( scheduler_graph, inline_diamond_runs_in_deterministic_topological_order )
+{
+  task_graph graph;
+  std::vector<int> order; // inline pool: single-threaded, no lock needed
+  const auto a = graph.add( "a", [&order] { order.push_back( 0 ); } );
+  const auto b = graph.add( "b", [&order] { order.push_back( 1 ); }, { a } );
+  const auto c = graph.add( "c", [&order] { order.push_back( 2 ); }, { a } );
+  const auto d = graph.add( "d", [&order] { order.push_back( 3 ); }, { b, c } );
+  thread_pool pool( 1 );
+  graph.run( pool );
+  // The determinism contract: each finished task submits its ready
+  // dependents in insertion order, recursively, so the diamond is 0-1-2-3.
+  EXPECT_EQ( order, ( std::vector<int>{ 0, 1, 2, 3 } ) );
+  for ( const auto id : { a, b, c, d } )
+  {
+    EXPECT_EQ( graph.state( id ), task_state::done ) << graph.key( id );
+  }
+  const auto stats = graph.stats();
+  EXPECT_EQ( stats.tasks_added, 4u );
+  EXPECT_EQ( stats.tasks_run, 4u );
+  EXPECT_EQ( stats.coalesced, 0u );
+  EXPECT_GE( stats.wall_seconds, 0.0 );
+  EXPECT_GE( stats.critical_path_seconds, 0.0 );
+}
+
+TEST( scheduler_graph, diamond_on_workers_respects_every_edge )
+{
+  task_graph graph;
+  std::atomic<bool> a_done{ false }, b_done{ false }, c_done{ false };
+  std::atomic<int> violations{ 0 };
+  const auto a = graph.add( "a", [&a_done] { a_done = true; } );
+  const auto b = graph.add( "b",
+                            [&] {
+                              if ( !a_done )
+                              {
+                                violations.fetch_add( 1 );
+                              }
+                              b_done = true;
+                            },
+                            { a } );
+  const auto c = graph.add( "c",
+                            [&] {
+                              if ( !a_done )
+                              {
+                                violations.fetch_add( 1 );
+                              }
+                              c_done = true;
+                            },
+                            { a } );
+  graph.add( "d",
+             [&] {
+               if ( !b_done || !c_done )
+               {
+                 violations.fetch_add( 1 );
+               }
+             },
+             { b, c } );
+  thread_pool pool( 2 );
+  graph.run( pool );
+  EXPECT_EQ( violations.load(), 0 );
+  EXPECT_EQ( graph.stats().tasks_run, 4u );
+}
+
+TEST( scheduler_graph, wide_fan_in_waits_for_every_producer )
+{
+  task_graph graph;
+  constexpr std::size_t width = 16;
+  std::vector<std::atomic<bool>> produced( width );
+  std::vector<task_id> producers;
+  for ( std::size_t i = 0; i < width; ++i )
+  {
+    producers.push_back(
+        graph.add( "p" + std::to_string( i ), [&produced, i] { produced[i] = true; } ) );
+  }
+  std::atomic<int> missing{ 0 };
+  graph.add( "sink",
+             [&] {
+               for ( std::size_t i = 0; i < width; ++i )
+               {
+                 if ( !produced[i] )
+                 {
+                   missing.fetch_add( 1 );
+                 }
+               }
+             },
+             producers );
+  // The fixture-pinned worker count (QSYN_THREADS) exercises 1, 2, and
+  // hardware-wide pools over the same graph.
+  thread_pool pool( thread_pool::default_num_threads() );
+  graph.run( pool );
+  EXPECT_EQ( missing.load(), 0 );
+  EXPECT_EQ( graph.stats().tasks_run, width + 1 );
+}
+
+// --- task graph: coalescing --------------------------------------------------
+
+TEST( scheduler_graph, shared_keys_coalesce_onto_one_task )
+{
+  task_graph graph;
+  std::atomic<int> runs{ 0 };
+  const auto first = graph.add_shared( "artifact", [&runs] { runs.fetch_add( 1 ); } );
+  // The duplicate's callable must be dropped, not queued: first writer wins.
+  const auto second = graph.add_shared( "artifact", [&runs] { runs.fetch_add( 100 ); } );
+  EXPECT_EQ( first, second );
+  EXPECT_EQ( graph.size(), 1u );
+  ASSERT_TRUE( graph.find( "artifact" ).has_value() );
+  EXPECT_EQ( *graph.find( "artifact" ), first );
+  EXPECT_FALSE( graph.find( "missing" ).has_value() );
+  thread_pool pool( 1 );
+  graph.run( pool );
+  EXPECT_EQ( runs.load(), 1 );
+  EXPECT_EQ( graph.stats().coalesced, 1u );
+  EXPECT_EQ( graph.stats().tasks_run, 1u );
+}
+
+// --- task graph: failure isolation -------------------------------------------
+
+TEST( scheduler_graph, failure_poisons_only_transitive_dependents )
+{
+  task_graph graph;
+  const auto a = graph.add( "a", [] { throw std::runtime_error( "stage exploded" ); } );
+  const auto b = graph.add( "b", [] {}, { a } );
+  const auto c = graph.add( "c", [] {}, { b } );
+  std::atomic<bool> d_ran{ false };
+  const auto d = graph.add( "d", [&d_ran] { d_ran = true; } );
+  thread_pool pool( 1 );
+  graph.run( pool );
+
+  EXPECT_EQ( graph.state( a ), task_state::failed );
+  EXPECT_EQ( graph.state( b ), task_state::poisoned );
+  EXPECT_EQ( graph.state( c ), task_state::poisoned );
+  EXPECT_EQ( graph.state( d ), task_state::done );
+  EXPECT_TRUE( d_ran.load() );
+  // Poisoning propagates the ULTIMATE origin: c blames a, not b.
+  EXPECT_EQ( graph.blame( b ), "a" );
+  EXPECT_EQ( graph.blame( c ), "a" );
+  EXPECT_EQ( what_of( graph.error( c ) ), "stage exploded" );
+  const auto stats = graph.stats();
+  EXPECT_EQ( stats.tasks_failed, 1u );
+  EXPECT_EQ( stats.tasks_poisoned, 2u );
+  EXPECT_EQ( stats.tasks_run, 1u );
+}
+
+TEST( scheduler_graph, expired_deadline_cancels_unstarted_tasks_and_poisons_dependents )
+{
+  cancellation_token token;
+  const auto stop = deadline::with_token( token );
+  task_graph graph;
+  const auto a = graph.add( "a", [&token] { token.request_cancel(); } );
+  const auto b = graph.add( "b", [] {}, { a } );
+  const auto c = graph.add( "c", [] {} );
+  const auto d = graph.add( "d", [] {}, { c } );
+  // Inline order: a runs (and cancels), then b is cancelled pre-start,
+  // then seed c is cancelled pre-start and poisons d.
+  thread_pool pool( 1 );
+  graph.run( pool, stop );
+
+  EXPECT_EQ( graph.state( a ), task_state::done );
+  EXPECT_EQ( graph.state( b ), task_state::cancelled );
+  EXPECT_EQ( graph.state( c ), task_state::cancelled );
+  EXPECT_EQ( graph.state( d ), task_state::poisoned );
+  EXPECT_EQ( graph.blame( d ), "c" );
+  EXPECT_THROW( std::rethrow_exception( graph.error( b ) ), budget_exhausted );
+  // The cancellation record names the task it struck.
+  EXPECT_NE( what_of( graph.error( b ) ).find( "'b'" ), std::string::npos );
+  const auto stats = graph.stats();
+  EXPECT_EQ( stats.tasks_run, 1u );
+  EXPECT_EQ( stats.tasks_cancelled, 2u );
+  EXPECT_EQ( stats.tasks_poisoned, 1u );
+}
+
+TEST( scheduler_graph, graph_rejects_forward_edges_and_reruns )
+{
+  task_graph graph;
+  EXPECT_THROW( graph.add( "x", [] {}, { 0 } ), std::invalid_argument );
+  graph.add( "x", [] {} );
+  thread_pool pool( 1 );
+  graph.run( pool );
+  EXPECT_THROW( graph.run( pool ), std::logic_error );
+  EXPECT_THROW( graph.add( "y", [] {} ), std::logic_error );
+}
+
+// --- graph-scheduled DSE -----------------------------------------------------
+
+TEST( scheduler_dse, task_graph_matches_tail_only_bit_for_bit )
+{
+  const auto mod =
+      verilog::elaborate_verilog( reciprocal_verilog( reciprocal_design::intdiv, 5 ) );
+  const auto configs = default_dse_configurations( true );
+
+  // The seed sequential path: uncached, inline, tail-only.
+  explore_options sequential;
+  sequential.scheduler = schedule_mode::tail_only;
+  sequential.num_threads = 1;
+  sequential.use_cache = false;
+  const auto seq = explore( mod.aig, configs, sequential );
+
+  // The graph engine at the fixture-pinned default worker count.
+  explore_options graphed; // scheduler = task_graph, num_threads = default
+  flow_artifact_cache cache;
+  task_graph_stats stats;
+  const auto par = explore( mod.aig, configs, graphed, cache, deadline{}, stats );
+
+  ASSERT_EQ( seq.size(), par.size() );
+  for ( std::size_t i = 0; i < seq.size(); ++i )
+  {
+    EXPECT_TRUE( same_costs( seq[i], par[i] ) ) << seq[i].label;
+    EXPECT_TRUE( par[i].result.verified ) << par[i].label;
+  }
+  // 7 configurations share 4 artifact tasks (optimize, collapse, esop,
+  // xmg): 11 tasks, all run, and the 10 duplicate artifact requests
+  // (6 optimize + 2 esop + 2 xmg) coalesce instead of recomputing.
+  EXPECT_EQ( cache.stats().misses, 4u );
+  EXPECT_EQ( stats.tasks_added, configs.size() + 4u );
+  EXPECT_EQ( stats.tasks_run, stats.tasks_added );
+  EXPECT_EQ( stats.coalesced, 10u );
+  EXPECT_EQ( stats.tasks_failed + stats.tasks_poisoned + stats.tasks_cancelled, 0u );
+  // The critical path is the lower bound of any schedule of this graph.
+  EXPECT_LE( stats.critical_path_seconds, stats.wall_seconds + 0.05 );
+}
+
+TEST( scheduler_dse, poisoned_points_name_the_failing_stage_task )
+{
+  fault_guard guard;
+  const auto mod =
+      verilog::elaborate_verilog( reciprocal_verilog( reciprocal_design::intdiv, 5 ) );
+  const auto configs = default_dse_configurations( true );
+  explore_options options;
+  options.num_threads = 1; // deterministic poll order: one xmg task, one poll
+  fault_injection::arm( "flow.xmg", fault_injection::kind::fail, 0, 1 );
+  flow_artifact_cache cache;
+  const auto points = explore( mod.aig, configs, options, cache );
+  fault_injection::disarm_all();
+
+  for ( const auto& point : points )
+  {
+    if ( point.params.kind == flow_kind::hierarchical )
+    {
+      // The regression this guards: the shared xmg task fails ONCE, and
+      // every dependent point's record still names the artifact key (which
+      // carries the stage name) plus the underlying fault.
+      EXPECT_EQ( point.result.status, flow_status::failed ) << point.label;
+      EXPECT_NE( point.result.status_detail.find( "stage '" ), std::string::npos )
+          << point.result.status_detail;
+      EXPECT_NE( point.result.status_detail.find( "xmg[" ), std::string::npos )
+          << point.result.status_detail;
+      EXPECT_NE( point.result.status_detail.find( "flow.xmg" ), std::string::npos )
+          << point.result.status_detail;
+    }
+    else
+    {
+      EXPECT_EQ( point.result.status, flow_status::ok ) << point.label;
+    }
+  }
+}
+
+TEST( scheduler_dse, tail_only_stage_errors_carry_key_and_stage )
+{
+  fault_guard guard;
+  const auto mod =
+      verilog::elaborate_verilog( reciprocal_verilog( reciprocal_design::intdiv, 5 ) );
+  const auto configs = default_dse_configurations( true );
+  explore_options options;
+  options.scheduler = schedule_mode::tail_only;
+  options.num_threads = 1;
+  // Tail-only prefetches the failing stage once per hierarchical config.
+  fault_injection::arm( "flow.xmg", fault_injection::kind::fail, 0, 3 );
+  flow_artifact_cache cache;
+  const auto points = explore( mod.aig, configs, options, cache );
+  fault_injection::disarm_all();
+
+  for ( const auto& point : points )
+  {
+    if ( point.params.kind == flow_kind::hierarchical )
+    {
+      EXPECT_EQ( point.result.status, flow_status::failed ) << point.label;
+      EXPECT_NE( point.result.status_detail.find( "xmg[" ), std::string::npos )
+          << point.result.status_detail;
+      EXPECT_NE( point.result.status_detail.find( "(xmg)" ), std::string::npos )
+          << point.result.status_detail;
+      EXPECT_NE( point.result.status_detail.find( "flow.xmg" ), std::string::npos )
+          << point.result.status_detail;
+    }
+    else
+    {
+      EXPECT_EQ( point.result.status, flow_status::ok ) << point.label;
+    }
+  }
+}
+
+TEST( scheduler_dse, batch_graph_matches_serial_sweep_bit_for_bit )
+{
+  explore_options serial;
+  serial.scheduler = schedule_mode::tail_only;
+  serial.num_threads = 1;
+  const auto expect = explore_designs( { reciprocal_design::intdiv,
+                                         reciprocal_design::newton },
+                                       5, 5, serial );
+
+  explore_options graphed; // one graph for the whole batch, default workers
+  task_graph_stats stats;
+  const auto got = explore_designs( { reciprocal_design::intdiv,
+                                      reciprocal_design::newton },
+                                    5, 5, graphed, stats );
+
+  ASSERT_EQ( expect.size(), got.size() );
+  for ( std::size_t d = 0; d < expect.size(); ++d )
+  {
+    EXPECT_EQ( expect[d].name, got[d].name );
+    EXPECT_EQ( expect[d].status, got[d].status ) << got[d].name;
+    ASSERT_EQ( expect[d].points.size(), got[d].points.size() ) << got[d].name;
+    for ( std::size_t i = 0; i < expect[d].points.size(); ++i )
+    {
+      EXPECT_TRUE( same_costs( expect[d].points[i], got[d].points[i] ) )
+          << got[d].name << " " << got[d].points[i].label;
+    }
+    EXPECT_EQ( expect[d].cache.misses, got[d].cache.misses ) << got[d].name;
+  }
+  // Per design: 1 elaborate + 4 artifacts + 7 tails; two designs, one graph.
+  EXPECT_EQ( stats.tasks_added, 24u );
+  EXPECT_EQ( stats.tasks_run, 24u );
+  EXPECT_EQ( stats.coalesced, 20u );
+}
