@@ -241,9 +241,10 @@ sweep_result run_sweep( unsigned min_n, unsigned max_n, unsigned threads, bool v
                min_n, max_n, threads, r.tail_only_wall_s, r.task_graph_wall_s,
                r.tail_only_wall_s / ( r.task_graph_wall_s > 0 ? r.task_graph_wall_s : 1e-9 ),
                r.identical ? "identical" : "COSTS DIVERGED" );
-  std::printf( "  scheduler: %zu tasks, %zu coalesced, %llu steals, critical path %6.3f s vs wall %6.3f s\n",
+  std::printf( "  scheduler: %zu tasks, %zu coalesced, %llu steals, peak concurrency %zu, critical path %6.3f s vs wall %6.3f s\n",
                r.sched.tasks_run, r.sched.coalesced,
                static_cast<unsigned long long>( r.sched.steals ),
+               r.sched.max_concurrency,
                r.sched.critical_path_seconds, r.sched.wall_seconds );
   return r;
 }
@@ -299,6 +300,7 @@ void write_json( const char* path, const std::vector<case_result>& cases,
   std::fprintf( f, "    \"coalesced\": %zu,\n", sweep.sched.coalesced );
   std::fprintf( f, "    \"steals\": %llu,\n",
                 static_cast<unsigned long long>( sweep.sched.steals ) );
+  std::fprintf( f, "    \"max_concurrent\": %zu,\n", sweep.sched.max_concurrency );
   std::fprintf( f, "    \"critical_path_s\": %.4f,\n", sweep.sched.critical_path_seconds );
   std::fprintf( f, "    \"sched_wall_s\": %.4f\n", sweep.sched.wall_seconds );
   std::fprintf( f, "  },\n" );

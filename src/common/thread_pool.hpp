@@ -93,6 +93,14 @@ public:
   /// Called from one of this pool's own workers, the job lands on that
   /// worker's queue; from any other thread it lands on the shared
   /// injection queue.
+  ///
+  /// Ordering invariant: `pending_`/`outstanding_` are incremented BEFORE
+  /// the job becomes visible to any worker.  A worker can only claim a job
+  /// after the push, so the claim-side decrements can never precede these
+  /// increments — otherwise the unsigned counters would underflow,
+  /// `wait_all()` could return while jobs are still queued or running, or
+  /// the final decrement-to-zero could happen in `submit` (which never
+  /// notifies `idle_`) and hang the waiters.
   void submit( std::function<void()> job )
   {
     if ( workers_.empty() )
@@ -103,18 +111,20 @@ public:
     const auto& ctx = current_worker();
     if ( ctx.pool == this )
     {
+      {
+        std::unique_lock<std::mutex> lock( mutex_ );
+        ++pending_;
+        ++outstanding_;
+      }
       std::unique_lock<std::mutex> queue_lock( queues_[ctx.index]->mutex );
       queues_[ctx.index]->jobs.push_back( std::move( job ) );
     }
     else
     {
       std::unique_lock<std::mutex> lock( mutex_ );
-      injected_.push_back( std::move( job ) );
-    }
-    {
-      std::unique_lock<std::mutex> lock( mutex_ );
       ++pending_;
       ++outstanding_;
+      injected_.push_back( std::move( job ) );
     }
     wake_workers_.notify_one();
   }

@@ -496,6 +496,15 @@ struct design_build
   design_exploration entry;
   std::vector<flow_params> configs;
   std::vector<dse_point> points;
+  /// Per-configuration deadlines, armed by the elaborate task (the
+  /// design's start) — NOT at graph-build time, where a nonzero
+  /// `limits.deadline_seconds` would start ticking for every design at
+  /// once and late-scheduled designs would begin with their per-flow
+  /// clock already consumed by earlier ones (the serial driver arms them
+  /// on entry to `explore`, i.e. per design).  The flow tasks read these
+  /// slots by reference at run time, always after the elaborate task they
+  /// depend on wrote them.
+  std::vector<deadline> stops;
   std::unique_ptr<flow_artifact_cache> cache;
   aig_network aig;
   task_id elaborate = 0;
@@ -535,6 +544,11 @@ std::vector<design_exploration> explore_designs_graph(
         config.limits = options.limits;
       }
       slot->points.resize( slot->configs.size() );
+      // Pre-fill with the sweep deadline; the elaborate task below
+      // tightens each slot by its per-config budget when the design
+      // actually starts.  Sized up front so the references the flow tasks
+      // capture stay stable.
+      slot->stops.assign( slot->configs.size(), sweep_stop );
       if ( options.use_cache )
       {
         slot->cache = std::make_unique<flow_artifact_cache>();
@@ -550,17 +564,24 @@ std::vector<design_exploration> explore_designs_graph(
         slot->aig =
             verilog::elaborate_verilog( reciprocal_verilog( design, n ), slot->entry.name )
                 .aig;
+        // Arm the per-configuration deadlines NOW — the design's start —
+        // matching the serial driver's per-design arming point.  Every
+        // flow task depends on this task, so the writes are ordered
+        // before any read.
+        for ( std::size_t i = 0; i < slot->configs.size(); ++i )
+        {
+          slot->stops[i] =
+              sweep_stop.tightened( slot->configs[i].limits.deadline_seconds );
+        }
       } );
       for ( std::size_t i = 0; i < slot->configs.size(); ++i )
       {
-        const auto cfg_stop =
-            sweep_stop.tightened( slot->configs[i].limits.deadline_seconds );
         slot->points[i].label = dse_label( slot->configs[i] );
         slot->points[i].params = slot->configs[i];
         if ( slot->cache )
         {
           slot->tails.push_back( add_flow_tasks( graph, slot->aig, slot->configs[i],
-                                                 *slot->cache, cfg_stop,
+                                                 *slot->cache, slot->stops[i],
                                                  slot->points[i].result, prefix,
                                                  { slot->elaborate } )
                                      .tail );
@@ -569,14 +590,14 @@ std::vector<design_exploration> explore_designs_graph(
         {
           slot->tails.push_back( graph.add(
               prefix + "tail:" + slot->points[i].label + "#" + std::to_string( graph.size() ),
-              [slot, i, cfg_stop] {
-                if ( cfg_stop.expired() )
+              [slot, i] {
+                if ( slot->stops[i].expired() )
                 {
                   throw budget_exhausted( "deadline expired before the configuration started" );
                 }
                 flow_artifact_cache local;
                 slot->points[i].result =
-                    run_flow_staged( slot->aig, slot->configs[i], local, cfg_stop );
+                    run_flow_staged( slot->aig, slot->configs[i], local, slot->stops[i] );
               },
               { slot->elaborate } ) );
         }

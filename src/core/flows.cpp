@@ -337,19 +337,18 @@ flow_task_ids add_flow_tasks( task_graph& graph, const aig_network& aig,
         { ids.optimize } );
     break;
   case flow_kind::esop_based:
-  {
-    exorcism_params mlimits;
-    mlimits.pair_budget = params.limits.exorcism_pair_budget;
-    mlimits.stop = stop;
     ids.artifact = graph.add_shared(
         artifact_key,
         [&aig, &cache, rounds = params.optimization_rounds,
-         run_exorcism = params.run_exorcism, mlimits] {
+         run_exorcism = params.run_exorcism,
+         pair_budget = params.limits.exorcism_pair_budget, stop_ptr = &stop] {
+          exorcism_params mlimits;
+          mlimits.pair_budget = pair_budget;
+          mlimits.stop = *stop_ptr;
           cache.esop_intermediate( aig, rounds, run_exorcism, mlimits );
         },
         { ids.optimize } );
     break;
-  }
   case flow_kind::hierarchical:
     ids.artifact = graph.add_shared(
         artifact_key,
@@ -363,15 +362,17 @@ flow_task_ids add_flow_tasks( task_graph& graph, const aig_network& aig,
   // Unique (unkeyed) per-configuration tail: every stage lookup inside
   // run_flow_staged hits the cache the artifact tasks just filled, so the
   // tail is pure synthesis + verification.  The pre-start deadline check
-  // keeps the tail-only engine's timed_out contract.
+  // keeps the tail-only engine's timed_out contract.  `stop` is read when
+  // the task runs (not copied at build time), so batch drivers can arm the
+  // per-configuration clock lazily from an upstream task.
   ids.tail = graph.add(
       key_prefix + "tail:" + dse_label( params ) + "#" + std::to_string( graph.size() ),
-      [&aig, &cache, &out, params, stop] {
-        if ( stop.expired() )
+      [&aig, &cache, &out, params, stop_ptr = &stop] {
+        if ( stop_ptr->expired() )
         {
           throw budget_exhausted( "deadline expired before the configuration started" );
         }
-        out = run_flow_staged( aig, params, cache, stop );
+        out = run_flow_staged( aig, params, cache, *stop_ptr );
       },
       { ids.artifact } );
   return ids;

@@ -310,7 +310,11 @@ struct flow_task_ids
 /// mirroring `flow_artifact_cache::esop_intermediate`'s
 /// first-computation-wins contract.  The tail task runs
 /// `run_flow_staged` (every stage lookup then hits) and assigns `out`;
-/// `aig`, `cache`, and `out` must outlive the graph run.  `extra_deps`
+/// `aig`, `cache`, `stop`, and `out` must outlive the graph run.  `stop`
+/// is read when each task runs, not copied at build time, so a batch
+/// driver can arm the per-configuration deadline lazily from an upstream
+/// task (e.g. the design's elaborate task) and late-scheduled designs do
+/// not see their per-flow clock consumed by earlier ones.  `extra_deps`
 /// are prepended to the optimize task's dependencies (e.g. a per-design
 /// elaboration task).  A failing stage task poisons only the tails that
 /// depend on it; the DSE layer maps the poisoned tasks' blame keys back

@@ -256,8 +256,38 @@ task_id task_graph::add_shared( const std::string& key, std::function<void()> fn
   const auto it = g.shared_keys.find( key );
   if ( it != g.shared_keys.end() )
   {
+    if ( g.running || g.ran )
+    {
+      throw std::logic_error( "task_graph: cannot add tasks to a running/finished graph" );
+    }
+    // Coalesced hit: the callable is dropped (first writer wins), but the
+    // requested deps must NOT be — a consumer of the shared task could
+    // otherwise run before a prerequisite only the later caller knows
+    // about.  Merge deps the acyclic-by-construction ordering allows
+    // (edges point from lower to higher id); a dep at or above the shared
+    // task's id cannot be merged without risking a cycle, so reject it
+    // loudly instead of silently dropping it.
+    const auto id = it->second;
+    auto& node = g.nodes[id];
+    for ( const auto dep : deps )
+    {
+      if ( std::find( node.deps.begin(), node.deps.end(), dep ) != node.deps.end() )
+      {
+        continue;
+      }
+      if ( dep >= id )
+      {
+        throw std::invalid_argument(
+            "task_graph: coalesced task '" + key +
+            "' cannot depend on a task added after it (dependency #" +
+            std::to_string( dep ) + ")" );
+      }
+      node.deps.push_back( dep );
+      ++node.remaining;
+      g.nodes[dep].dependents.push_back( id );
+    }
     ++g.stats.coalesced;
-    return it->second;
+    return id;
   }
   const auto id = add( key, std::move( fn ), deps );
   g.shared_keys.emplace( key, id );
@@ -342,6 +372,31 @@ void task_graph::run( thread_pool& pool, const deadline& stop )
     critical = std::max( critical, longest[id] );
   }
   g.stats.critical_path_seconds = critical;
+  // Peak overlap of the measured task intervals (classic event sweep).
+  // Ties order starts before ends so a zero-duration task still counts
+  // while it is "live" and the counter can never dip below zero.
+  std::vector<std::pair<double, int>> events;
+  events.reserve( 2 * g.nodes.size() );
+  for ( const auto& node : g.nodes )
+  {
+    if ( node.start_s >= 0.0 && node.end_s >= 0.0 )
+    {
+      events.emplace_back( node.start_s, +1 );
+      events.emplace_back( node.end_s, -1 );
+    }
+  }
+  std::sort( events.begin(), events.end(),
+             []( const auto& a, const auto& b ) {
+               return a.first != b.first ? a.first < b.first : a.second > b.second;
+             } );
+  std::size_t live = 0, peak = 0;
+  for ( const auto& [time, delta] : events )
+  {
+    (void)time;
+    live += delta; // starts sort first, so live never dips below zero
+    peak = std::max( peak, live );
+  }
+  g.stats.max_concurrency = peak;
   g.running = false;
   g.ran = true;
 }

@@ -91,6 +91,12 @@ struct task_graph_stats
   std::size_t coalesced = 0;       ///< duplicate keyed requests folded onto
                                    ///< an existing task (`add_shared`)
   std::uint64_t steals = 0;        ///< pool steals during this run
+  /// Peak number of tasks whose measured [start, end) intervals overlap —
+  /// the parallelism that actually materialized.  1 on an inline pool (or
+  /// a run whose tasks never overlapped); the dead-parallelism canary
+  /// `scripts/run_bench.sh` gates on (steals can legitimately be 0 when
+  /// idle workers drain whole designs from the injection queue instead).
+  std::size_t max_concurrency = 0;
   double wall_seconds = 0.0;       ///< run() entry to last task terminal
   /// Longest dependency chain, weighted by measured task durations — the
   /// wall clock an ideal scheduler with infinite workers would need.
@@ -113,10 +119,13 @@ public:
                const std::vector<task_id>& deps = {} );
 
   /// Adds a keyed task, coalescing duplicates: when `key` was already
-  /// added through `add_shared`, returns the existing task's id (the new
-  /// callable and deps are dropped — first writer wins, mirroring the
-  /// artifact cache's first-computation-wins contract) and counts a
-  /// coalesced hit.
+  /// added through `add_shared`, returns the existing task's id and counts
+  /// a coalesced hit.  The new callable is dropped (first writer wins,
+  /// mirroring the artifact cache's first-computation-wins contract), but
+  /// the requested `deps` are merged into the existing task so no caller's
+  /// prerequisite is silently lost; a dep added after the shared task
+  /// (id >= the task's) cannot be merged acyclically and throws
+  /// `std::invalid_argument`.
   task_id add_shared( const std::string& key, std::function<void()> fn,
                       const std::vector<task_id>& deps = {} );
 

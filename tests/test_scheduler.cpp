@@ -25,6 +25,7 @@
 #include "common/fault_injection.hpp"
 #include "common/thread_pool.hpp"
 #include "core/dse.hpp"
+#include "core/flows.hpp"
 #include "core/task_graph.hpp"
 #include "verilog/elaborator.hpp"
 
@@ -136,6 +137,36 @@ TEST( scheduler_pool, jobs_spawned_by_a_worker_can_be_stolen )
   pool.wait();
   EXPECT_EQ( ran.load(), 16 );
   EXPECT_GE( pool.steals(), 1u );
+}
+
+TEST( scheduler_pool, worker_submitted_bursts_are_fully_waited )
+{
+  // Regression: submit() must count a job BEFORE publishing it.  Jobs
+  // spawned from workers race wait()'s outstanding-count with the
+  // claim-side decrements; the old publish-then-count order let a fast
+  // claimant finish before the counts existed, waking wait() while work
+  // was still queued (or hanging it via counter underflow).
+  thread_pool pool( 4 );
+  std::atomic<int> ran{ 0 };
+  int expected = 0;
+  for ( int round = 0; round < 50; ++round )
+  {
+    for ( int parent = 0; parent < 8; ++parent )
+    {
+      pool.submit( [&pool, &ran] {
+        for ( int child = 0; child < 4; ++child )
+        {
+          pool.submit( [&ran] { ran.fetch_add( 1 ); } );
+        }
+        ran.fetch_add( 1 );
+      } );
+    }
+    expected += 8 * 5;
+    pool.wait();
+    // Every job of the round — parents AND worker-spawned children — must
+    // be done when wait() returns, every round.
+    ASSERT_EQ( ran.load(), expected ) << "round " << round;
+  }
 }
 
 TEST( scheduler_pool, inline_pool_never_steals )
@@ -266,6 +297,78 @@ TEST( scheduler_graph, shared_keys_coalesce_onto_one_task )
   EXPECT_EQ( graph.stats().tasks_run, 1u );
 }
 
+TEST( scheduler_graph, coalesced_shared_task_merges_new_dependencies )
+{
+  task_graph graph;
+  std::atomic<bool> p1_done{ false }, p2_done{ false };
+  std::atomic<int> violations{ 0 };
+  const auto p1 = graph.add( "p1", [&p1_done] { p1_done = true; } );
+  const auto p2 = graph.add( "p2", [&p2_done] { p2_done = true; } );
+  const auto first = graph.add_shared( "artifact",
+                                       [&] {
+                                         if ( !p1_done || !p2_done )
+                                         {
+                                           violations.fetch_add( 1 );
+                                         }
+                                       },
+                                       { p1 } );
+  // Regression: the duplicate's callable is dropped, but its deps must be
+  // MERGED — the shared task must not run before a prerequisite only the
+  // later caller knows about.
+  const auto second = graph.add_shared( "artifact", [] {}, { p2 } );
+  EXPECT_EQ( first, second );
+  EXPECT_EQ( graph.stats().coalesced, 1u );
+  // A dep added after the shared task cannot be merged without risking a
+  // cycle; dropping it silently would be worse, so it throws.
+  const auto later = graph.add( "later", [] {} );
+  EXPECT_THROW( graph.add_shared( "artifact", [] {}, { later } ),
+                std::invalid_argument );
+  thread_pool pool( thread_pool::default_num_threads() );
+  graph.run( pool );
+  EXPECT_EQ( violations.load(), 0 );
+  EXPECT_EQ( graph.state( first ), task_state::done );
+}
+
+TEST( scheduler_graph, inline_run_reports_no_task_overlap )
+{
+  task_graph graph;
+  for ( int i = 0; i < 3; ++i )
+  {
+    graph.add( "t" + std::to_string( i ),
+               [] { std::this_thread::sleep_for( std::chrono::milliseconds( 2 ) ); } );
+  }
+  thread_pool pool( 1 );
+  graph.run( pool );
+  EXPECT_EQ( graph.stats().max_concurrency, 1u );
+}
+
+TEST( scheduler_graph, overlapping_tasks_report_their_peak_concurrency )
+{
+  task_graph graph;
+  std::atomic<bool> a_started{ false }, b_started{ false };
+  const auto spin_until = []( const std::atomic<bool>& flag ) {
+    const auto give_up = std::chrono::steady_clock::now() + std::chrono::seconds( 10 );
+    while ( !flag.load() && std::chrono::steady_clock::now() < give_up )
+    {
+      std::this_thread::yield();
+    }
+  };
+  // Each seed waits for the other to start, so on two workers the two
+  // intervals provably overlap — the signal the dead-parallelism canary
+  // in run_bench.sh gates on (steals may legitimately stay 0 here).
+  graph.add( "a", [&] {
+    a_started = true;
+    spin_until( b_started );
+  } );
+  graph.add( "b", [&] {
+    b_started = true;
+    spin_until( a_started );
+  } );
+  thread_pool pool( 2 );
+  graph.run( pool );
+  EXPECT_EQ( graph.stats().max_concurrency, 2u );
+}
+
 // --- task graph: failure isolation -------------------------------------------
 
 TEST( scheduler_graph, failure_poisons_only_transitive_dependents )
@@ -331,6 +434,39 @@ TEST( scheduler_graph, graph_rejects_forward_edges_and_reruns )
   graph.run( pool );
   EXPECT_THROW( graph.run( pool ), std::logic_error );
   EXPECT_THROW( graph.add( "y", [] {} ), std::logic_error );
+}
+
+TEST( scheduler_graph, flow_tasks_read_their_deadline_when_they_run )
+{
+  // Regression: the per-configuration deadline must be READ when a flow
+  // task runs, not copied at graph-build time — the batch driver arms it
+  // from the design's elaborate task, so designs scheduled late in a long
+  // sweep must not start with their per-flow clock already consumed.
+  // Here an upstream task cancels the deadline slot after the graph was
+  // built; a build-time copy (armed, unlimited) would let the tail run to
+  // completion instead of timing out.
+  const auto mod =
+      verilog::elaborate_verilog( reciprocal_verilog( reciprocal_design::intdiv, 5 ) );
+  flow_params params;
+  params.kind = flow_kind::hierarchical;
+  params.verify = false;
+
+  task_graph graph;
+  flow_artifact_cache cache;
+  flow_result out;
+  deadline armed; // unlimited while the graph is built
+  cancellation_token token;
+  const auto arm = graph.add( "arm", [&armed, &token] {
+    token.request_cancel();
+    armed = deadline::with_token( token );
+  } );
+  const auto ids =
+      add_flow_tasks( graph, mod.aig, params, cache, armed, out, {}, { arm } );
+  thread_pool pool( 1 );
+  graph.run( pool );
+
+  EXPECT_EQ( graph.state( ids.tail ), task_state::failed );
+  EXPECT_THROW( std::rethrow_exception( graph.error( ids.tail ) ), budget_exhausted );
 }
 
 // --- graph-scheduled DSE -----------------------------------------------------
