@@ -20,6 +20,16 @@
 /// max(4, hardware)) — bit-identical costs required, wall clocks and
 /// scheduler counters reported.
 ///
+/// Schema v4 adds the persistent-store sections.  `store_sweep` runs the
+/// batch sweep twice against one on-disk artifact store root — cold
+/// (empty store) then warm (fresh caches, same root, simulating a new
+/// process) — and requires the warm pass to recompute no stage artifact
+/// at all (misses == 0, store hits == the cold pass's misses) with
+/// bit-identical costs.  `daemon` synthesizes one query through a
+/// `synthesis_daemon`, repeats it, and reports the repeat-from-cache
+/// latency ratio plus whether a second daemon instance on the same store
+/// root answers the query from disk without synthesizing.
+///
 /// Usage: bench_dse [--out FILE] [--quick] [--max N] [--threads N]
 ///                  [--sweep-threads N] [--no-verify]
 ///                  [--verify-mode sampled|exhaustive|sat]
@@ -45,12 +55,16 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/thread_pool.hpp"
 #include "common/timer.hpp"
 #include "core/dse.hpp"
+#include "store/artifact_store.hpp"
+#include "store/daemon.hpp"
 #include "verilog/elaborator.hpp"
 
 namespace
@@ -249,8 +263,143 @@ sweep_result run_sweep( unsigned min_n, unsigned max_n, unsigned threads, bool v
   return r;
 }
 
+/// The persistent-store sweep: cold pass against an empty store root, then
+/// a warm pass with fresh per-design caches on the same root — the
+/// "restarted process" — which must recompute no stage artifact at all.
+struct store_sweep_result
+{
+  unsigned min_n = 0;
+  unsigned max_n = 0;
+  double cold_wall_s = 0.0;
+  double warm_wall_s = 0.0;
+  std::size_t cold_misses = 0;
+  std::size_t warm_misses = 0;
+  std::size_t warm_store_hits = 0;
+  bool identical = true;
+  bool recompute_free = false; ///< warm misses == 0 && store hits == cold misses
+};
+
+store_sweep_result run_store_sweep( unsigned min_n, unsigned max_n, bool verify,
+                                    verify_mode mode, const budget& limits )
+{
+  store_sweep_result r;
+  r.min_n = min_n;
+  r.max_n = max_n;
+
+  char root_template[] = "/tmp/qsyn-bench-store-XXXXXX";
+  const std::string root = ::mkdtemp( root_template );
+
+  explore_options options;
+  options.verification = verify ? mode : verify_mode::none;
+  options.limits = limits;
+  // Functional collapse artifacts are memory-only by design (exponential
+  // truth tables, cheap to rebuild); exclude that flow so "recompute-free"
+  // is a meaningful all-or-nothing gate on the disk tier.
+  options.functional_max_bitwidth = 0;
+  const std::vector<reciprocal_design> designs = { reciprocal_design::intdiv,
+                                                   reciprocal_design::newton };
+
+  const auto aggregate = []( const std::vector<design_exploration>& sweep ) {
+    cache_stats total;
+    for ( const auto& entry : sweep )
+    {
+      total.hits += entry.cache.hits;
+      total.misses += entry.cache.misses;
+      total.store_hits += entry.cache.store_hits;
+    }
+    return total;
+  };
+
+  options.store = std::make_shared<store::artifact_store>( root );
+  stopwatch watch;
+  const auto cold = explore_designs( designs, min_n, max_n, options );
+  r.cold_wall_s = watch.elapsed_seconds();
+  r.cold_misses = aggregate( cold ).misses;
+
+  // Fresh store handle on the same root: nothing survives but the disk.
+  options.store = std::make_shared<store::artifact_store>( root );
+  watch.restart();
+  const auto warm = explore_designs( designs, min_n, max_n, options );
+  r.warm_wall_s = watch.elapsed_seconds();
+  const auto warm_stats = aggregate( warm );
+  r.warm_misses = warm_stats.misses;
+  r.warm_store_hits = warm_stats.store_hits;
+
+  r.identical = sweeps_identical( cold, warm );
+  r.recompute_free = r.warm_misses == 0 && r.warm_store_hits == r.cold_misses;
+
+  std::error_code ec;
+  std::filesystem::remove_all( root, ec );
+
+  std::printf( "\nstore sweep n=%u..%u | cold %8.3f s (%zu misses) | warm %8.3f s "
+               "(%zu misses, %zu store hits) | %s, %s\n",
+               min_n, max_n, r.cold_wall_s, r.cold_misses, r.warm_wall_s, r.warm_misses,
+               r.warm_store_hits, r.identical ? "identical" : "COSTS DIVERGED",
+               r.recompute_free ? "recompute-free" : "RECOMPUTED ARTIFACTS" );
+  return r;
+}
+
+/// The daemon repeat-query measurement: one synthesis through a
+/// `synthesis_daemon`, the identical query again (memory result cache),
+/// and the same query against a second daemon instance sharing the store
+/// root (disk result cache).
+struct daemon_result
+{
+  double first_s = 0.0;
+  double repeat_s = 0.0;
+  bool repeat_from_cache = false;
+  bool restart_from_cache = false;
+  bool ok = false;
+};
+
+daemon_result run_daemon_repeat()
+{
+  daemon_result r;
+
+  char root_template[] = "/tmp/qsyn-bench-daemon-XXXXXX";
+  const std::string root = ::mkdtemp( root_template );
+
+  const std::string request =
+      R"({"cmd":"synthesize","design":"intdiv","bitwidth":6,"flow":"esop","esop_p":1,"verify":"sampled"})";
+  const auto from_cache = []( const std::string& response ) {
+    return response.find( "\"from_cache\":true" ) != std::string::npos;
+  };
+  const auto answered_ok = []( const std::string& response ) {
+    return response.find( "\"ok\":true" ) != std::string::npos;
+  };
+
+  std::string first, repeat, restarted;
+  {
+    store::synthesis_daemon daemon( { "", root } );
+    stopwatch watch;
+    first = daemon.handle_request( request );
+    r.first_s = watch.elapsed_seconds();
+    watch.restart();
+    repeat = daemon.handle_request( request );
+    r.repeat_s = watch.elapsed_seconds();
+  }
+  store::synthesis_daemon reborn( { "", root } );
+  restarted = reborn.handle_request( request );
+
+  r.repeat_from_cache = from_cache( repeat );
+  r.restart_from_cache = from_cache( restarted ) && reborn.stats().synthesized == 0;
+  r.ok = answered_ok( first ) && answered_ok( repeat ) && answered_ok( restarted ) &&
+         r.repeat_from_cache && r.restart_from_cache;
+
+  std::error_code ec;
+  std::filesystem::remove_all( root, ec );
+
+  std::printf( "daemon: first %8.6f s | repeat %8.6f s (%.0fx, from_cache=%s) | "
+               "restarted instance from_cache=%s\n",
+               r.first_s, r.repeat_s, r.first_s / ( r.repeat_s > 0 ? r.repeat_s : 1e-9 ),
+               r.repeat_from_cache ? "true" : "false",
+               r.restart_from_cache ? "true" : "false" );
+  return r;
+}
+
 void write_json( const char* path, const std::vector<case_result>& cases,
-                 const sweep_result& sweep, bool verify, verify_mode mode,
+                 const sweep_result& sweep, const store_sweep_result& store_sweep,
+                 const daemon_result& daemon, bool verify, verify_mode mode,
                  unsigned num_threads )
 {
   double total_seq = 0.0;
@@ -273,7 +422,7 @@ void write_json( const char* path, const std::vector<case_result>& cases,
     std::fprintf( stderr, "cannot open %s for writing\n", path );
     std::exit( 1 );
   }
-  std::fprintf( f, "{\n  \"bench\": \"dse\",\n  \"schema_version\": 3,\n" );
+  std::fprintf( f, "{\n  \"bench\": \"dse\",\n  \"schema_version\": 4,\n" );
   std::fprintf( f, "  \"verify\": %s,\n", verify ? "true" : "false" );
   std::fprintf( f, "  \"verify_mode\": \"%s\",\n",
                 verify_mode_name( mode ).c_str() );
@@ -303,6 +452,28 @@ void write_json( const char* path, const std::vector<case_result>& cases,
   std::fprintf( f, "    \"max_concurrent\": %zu,\n", sweep.sched.max_concurrency );
   std::fprintf( f, "    \"critical_path_s\": %.4f,\n", sweep.sched.critical_path_seconds );
   std::fprintf( f, "    \"sched_wall_s\": %.4f\n", sweep.sched.wall_seconds );
+  std::fprintf( f, "  },\n" );
+  std::fprintf( f, "  \"store_sweep\": {\n" );
+  std::fprintf( f, "    \"min_bitwidth\": %u,\n", store_sweep.min_n );
+  std::fprintf( f, "    \"max_bitwidth\": %u,\n", store_sweep.max_n );
+  std::fprintf( f, "    \"cold_wall_s\": %.4f,\n", store_sweep.cold_wall_s );
+  std::fprintf( f, "    \"warm_wall_s\": %.4f,\n", store_sweep.warm_wall_s );
+  std::fprintf( f, "    \"cold_misses\": %zu,\n", store_sweep.cold_misses );
+  std::fprintf( f, "    \"warm_misses\": %zu,\n", store_sweep.warm_misses );
+  std::fprintf( f, "    \"warm_store_hits\": %zu,\n", store_sweep.warm_store_hits );
+  std::fprintf( f, "    \"identical\": %s,\n", store_sweep.identical ? "true" : "false" );
+  std::fprintf( f, "    \"recompute_free\": %s\n",
+                store_sweep.recompute_free ? "true" : "false" );
+  std::fprintf( f, "  },\n" );
+  std::fprintf( f, "  \"daemon\": {\n" );
+  std::fprintf( f, "    \"first_s\": %.6f,\n", daemon.first_s );
+  std::fprintf( f, "    \"repeat_s\": %.6f,\n", daemon.repeat_s );
+  std::fprintf( f, "    \"speedup\": %.1f,\n",
+                daemon.first_s / ( daemon.repeat_s > 0 ? daemon.repeat_s : 1e-9 ) );
+  std::fprintf( f, "    \"repeat_from_cache\": %s,\n",
+                daemon.repeat_from_cache ? "true" : "false" );
+  std::fprintf( f, "    \"restart_from_cache\": %s\n",
+                daemon.restart_from_cache ? "true" : "false" );
   std::fprintf( f, "  },\n" );
   std::fprintf( f, "  \"cases\": [\n" );
   for ( std::size_t i = 0; i < cases.size(); ++i )
@@ -419,11 +590,14 @@ int main( int argc, char** argv )
   }
   const auto sweep =
       run_sweep( 5u, quick ? 5u : 6u, sweep_threads, verify, mode, limits );
+  const auto store_sweep = run_store_sweep( 5u, quick ? 5u : 6u, verify, mode, limits );
+  const auto daemon = run_daemon_repeat();
 
-  write_json( out_path, cases, sweep, verify, mode, num_threads );
+  write_json( out_path, cases, sweep, store_sweep, daemon, verify, mode, num_threads );
   std::printf( "\nwrote %s\n", out_path );
 
-  bool ok = sweep.identical && sweep.all_ok;
+  bool ok = sweep.identical && sweep.all_ok && store_sweep.identical &&
+            store_sweep.recompute_free && daemon.ok;
   for ( const auto& c : cases )
   {
     ok = ok && c.identical && c.all_verified;

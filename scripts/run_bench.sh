@@ -14,6 +14,12 @@
 #     would still produce identical results; zero steals alone only warns —
 #     idle workers can drain whole designs from the injection queue without
 #     stealing),
+#   * the persistent artifact store regresses: the warm pass of the batch
+#     sweep against a freshly re-opened store recomputes any stage artifact
+#     (it must be all store hits, zero misses) or its costs diverge from the
+#     cold pass, or the daemon's repeat query is not answered from cache at
+#     least 10x faster than the first synthesis, or a restarted daemon
+#     instance on the same store root fails to answer from disk,
 #   * the verification tiers diverge (scalar vs block vs SAT accept/reject),
 #     a corrupted circuit slips through, or the block-vs-scalar speedup
 #     drops more than 10% against the committed baseline,
@@ -23,11 +29,11 @@
 #     hierarchical miter below its 10x floor,
 #   * docs/ARCHITECTURE.md is missing or no longer mentions every src/*
 #     subdirectory.
-# Finally reruns the verification test suite under AddressSanitizer
-# (QSYN_SANITIZE=address) — the block engine is all raw word indexing —
-# and the robustness + scheduler suites (budgets, cancellation, fault
-# injection, the work-stealing task graph) under UndefinedBehaviorSanitizer
-# and ThreadSanitizer.
+# Finally reruns the verification + store test suites under
+# AddressSanitizer (QSYN_SANITIZE=address) — the block engine is all raw
+# word indexing and the store parses untrusted on-disk bytes — the
+# robustness + scheduler + store suites under UndefinedBehaviorSanitizer,
+# and the robustness + scheduler suites under ThreadSanitizer.
 #
 # Every benchmark invocation runs inside a hard `timeout` ceiling
 # (BENCH_TIMEOUT seconds, default 1200): a hung benchmark is exactly the
@@ -201,6 +207,60 @@ else:
         failures.append(
             f"batch-sweep tail-only-vs-task-graph speedup {fresh_ratio:.2f}x vs "
             f"baseline {base_ratio:.2f}x (> {WALL_REGRESSION_LIMIT:.0%} regression)"
+        )
+
+# --- persistent-store gates (schema v4) --------------------------------------
+DAEMON_SPEEDUP_FLOOR = 10.0
+
+store_sweep = fresh.get("store_sweep", {})
+if not store_sweep:
+    failures.append("fresh run has no store_sweep section (schema < 4?)")
+else:
+    print(
+        "store sweep: cold {:.3f} s ({} misses) -> warm {:.3f} s "
+        "({} misses, {} store hits)".format(
+            store_sweep.get("cold_wall_s", 0.0),
+            store_sweep.get("cold_misses", 0),
+            store_sweep.get("warm_wall_s", 0.0),
+            store_sweep.get("warm_misses", 0),
+            store_sweep.get("warm_store_hits", 0),
+        )
+    )
+    if not store_sweep.get("identical", False):
+        failures.append("warm store sweep costs diverged from the cold pass")
+    if not store_sweep.get("recompute_free", False):
+        failures.append(
+            "warm store sweep recomputed stage artifacts ({} misses, {} store "
+            "hits vs {} cold misses): the disk tier is not serving".format(
+                store_sweep.get("warm_misses", -1),
+                store_sweep.get("warm_store_hits", -1),
+                store_sweep.get("cold_misses", -1),
+            )
+        )
+
+daemon = fresh.get("daemon", {})
+if not daemon:
+    failures.append("fresh run has no daemon section (schema < 4?)")
+else:
+    print(
+        "daemon: first {:.6f} s -> repeat {:.6f} s ({:.0f}x)".format(
+            daemon.get("first_s", 0.0),
+            daemon.get("repeat_s", 0.0),
+            daemon.get("speedup", 0.0),
+        )
+    )
+    if not daemon.get("repeat_from_cache", False):
+        failures.append("daemon repeat query was not served from the result cache")
+    if not daemon.get("restart_from_cache", False):
+        failures.append(
+            "restarted daemon instance did not answer the repeat query from the store"
+        )
+    if daemon.get("speedup", 0.0) < DAEMON_SPEEDUP_FLOOR:
+        failures.append(
+            "daemon repeat query only {:.1f}x faster than the first synthesis "
+            "(< {:.0f}x floor)".format(
+                daemon.get("speedup", 0.0), DAEMON_SPEEDUP_FLOOR
+            )
         )
 
 base_cases = {c["name"]: c for c in baseline["cases"]}
@@ -398,10 +458,13 @@ echo "docs check OK (docs/ARCHITECTURE.md covers every src/* subdirectory)"
 
 ASAN_DIR="$REPO_ROOT/build-asan-verify"
 cmake -B "$ASAN_DIR" -S "$REPO_ROOT" -DCMAKE_BUILD_TYPE=Release -DQSYN_SANITIZE=address
-cmake --build "$ASAN_DIR" -j "$(nproc)" --target test_verify
+cmake --build "$ASAN_DIR" -j "$(nproc)" --target test_verify test_store
 "$ASAN_DIR/tests/test_verify"
+# The artifact store is raw byte-level (de)serialization of attacker-ish
+# input (any on-disk file): run its suite instrumented too.
+"$ASAN_DIR/tests/test_store"
 echo
-echo "test_verify OK under AddressSanitizer"
+echo "test_verify + test_store OK under AddressSanitizer"
 
 # --- robustness + scheduler tests under UBSan and TSan -----------------------
 # The budget/cancellation/fault-injection paths are counter arithmetic,
@@ -411,11 +474,14 @@ echo "test_verify OK under AddressSanitizer"
 
 UBSAN_DIR="$REPO_ROOT/build-ubsan-robustness"
 cmake -B "$UBSAN_DIR" -S "$REPO_ROOT" -DCMAKE_BUILD_TYPE=Release -DQSYN_SANITIZE=undefined
-cmake --build "$UBSAN_DIR" -j "$(nproc)" --target test_robustness test_scheduler
+cmake --build "$UBSAN_DIR" -j "$(nproc)" --target test_robustness test_scheduler test_store
 "$UBSAN_DIR/tests/test_robustness"
 "$UBSAN_DIR/tests/test_scheduler"
+# The store headers round-trip enums and fixed-width counters from
+# untrusted bytes: run the suite under UBSan as well.
+"$UBSAN_DIR/tests/test_store"
 echo
-echo "test_robustness + test_scheduler OK under UndefinedBehaviorSanitizer"
+echo "test_robustness + test_scheduler + test_store OK under UndefinedBehaviorSanitizer"
 
 TSAN_DIR="$REPO_ROOT/build-tsan-robustness"
 cmake -B "$TSAN_DIR" -S "$REPO_ROOT" -DCMAKE_BUILD_TYPE=Release -DQSYN_SANITIZE=thread

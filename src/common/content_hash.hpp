@@ -1,0 +1,82 @@
+/// \file content_hash.hpp
+/// \brief Streaming 64-bit structural content hashing.
+///
+/// The persistent artifact store (src/store/) keys every on-disk entry on
+/// a *content* hash of the design it was derived from, so equal designs
+/// share entries across processes and distinct designs can never alias —
+/// including equal-sized distinct designs, which the old size-only
+/// fingerprint of `flow_artifact_cache` silently confused.
+///
+/// The hasher is FNV-1a over 64-bit words with a splitmix64 finalizer.  It
+/// is deliberately simple and *stable*: the value is written into on-disk
+/// headers and must not change across compilers, standard-library
+/// versions, or word orders of the host (everything is fed as explicit
+/// little-endian words) — do not replace it with std::hash.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace qsyn
+{
+
+/// Streaming structural hasher; feed words/bytes, then take `digest()`.
+class content_hasher
+{
+public:
+  /// FNV-1a offset basis / prime (64-bit variant).
+  static constexpr std::uint64_t offset_basis = 0xcbf29ce484222325ull;
+  static constexpr std::uint64_t prime = 0x100000001b3ull;
+
+  constexpr void update( std::uint64_t word ) noexcept
+  {
+    for ( int i = 0; i < 8; ++i )
+    {
+      state_ = ( state_ ^ ( word & 0xffu ) ) * prime;
+      word >>= 8;
+    }
+  }
+
+  constexpr void update_u32( std::uint32_t word ) noexcept
+  {
+    for ( int i = 0; i < 4; ++i )
+    {
+      state_ = ( state_ ^ ( word & 0xffu ) ) * prime;
+      word >>= 8;
+    }
+  }
+
+  void update( const std::string& bytes ) noexcept
+  {
+    for ( const unsigned char c : bytes )
+    {
+      state_ = ( state_ ^ c ) * prime;
+    }
+  }
+
+  /// Finalized digest (splitmix64 avalanche on the FNV state, so short
+  /// inputs still diffuse into all 64 bits).
+  [[nodiscard]] constexpr std::uint64_t digest() const noexcept
+  {
+    std::uint64_t z = state_ + 0x9e3779b97f4a7c15ull;
+    z = ( z ^ ( z >> 30 ) ) * 0xbf58476d1ce4e5b9ull;
+    z = ( z ^ ( z >> 27 ) ) * 0x94d049bb133111ebull;
+    return z ^ ( z >> 31 );
+  }
+
+private:
+  std::uint64_t state_ = offset_basis;
+};
+
+/// One-shot hash of a byte string (store key derivation for parameter-key
+/// strings like "esop[r=2,exo=1]").
+inline std::uint64_t content_hash_bytes( const std::string& bytes ) noexcept
+{
+  content_hasher h;
+  h.update( bytes );
+  return h.digest();
+}
+
+} // namespace qsyn

@@ -174,9 +174,16 @@ public:
     return steals_.load( std::memory_order_relaxed );
   }
 
+  /// Largest worker count `QSYN_THREADS` can request.  Values beyond any
+  /// plausible machine are user error; without the clamp the unchecked
+  /// `long` → `unsigned` cast below could wrap (e.g. 2^32 → 0 workers and
+  /// a pool that executes everything inline, or 2^32+7 → a silent 7).
+  static constexpr unsigned max_env_threads = 1024u;
+
   /// The default worker count: the `QSYN_THREADS` environment variable
-  /// when set (clamped to >= 1, so benches/CI can pin worker counts
-  /// without new flags), otherwise the hardware concurrency, at least 1.
+  /// when set (clamped to [1, max_env_threads], so benches/CI can pin
+  /// worker counts without new flags and absurd values cannot wrap the
+  /// unsigned cast), otherwise the hardware concurrency, at least 1.
   static unsigned default_num_threads()
   {
     if ( const char* env = std::getenv( "QSYN_THREADS" ) )
@@ -185,7 +192,15 @@ public:
       const long parsed = std::strtol( env, &end, 10 );
       if ( end != env && *end == '\0' )
       {
-        return parsed < 1 ? 1u : static_cast<unsigned>( parsed );
+        if ( parsed < 1 )
+        {
+          return 1u;
+        }
+        if ( parsed > static_cast<long>( max_env_threads ) )
+        {
+          return max_env_threads;
+        }
+        return static_cast<unsigned>( parsed );
       }
     }
     const auto hw = std::thread::hardware_concurrency();

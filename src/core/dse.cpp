@@ -353,6 +353,7 @@ std::vector<dse_point> explore( const aig_network& aig, const std::vector<flow_p
     return explore_impl( aig, configs, options, nullptr, stop );
   }
   flow_artifact_cache cache;
+  cache.attach_store( options.store );
   return explore_impl( aig, configs, options, &cache, stop );
 }
 
@@ -459,6 +460,7 @@ std::vector<design_exploration> explore_designs_serial(
         if ( options.use_cache )
         {
           flow_artifact_cache cache;
+          cache.attach_store( options.store );
           entry.points = explore( mod.aig, configs, options, cache, sweep_stop );
           entry.cache = cache.stats();
         }
@@ -552,6 +554,7 @@ std::vector<design_exploration> explore_designs_graph(
       if ( options.use_cache )
       {
         slot->cache = std::make_unique<flow_artifact_cache>();
+        slot->cache->attach_store( options.store );
       }
       slot->first_task = graph.size();
       const auto prefix = slot->entry.name + "/";

@@ -78,6 +78,14 @@ struct explore_options
   /// sweep budget stops the remaining designs promptly — each with a
   /// `timed_out` record, never a hang or an abort.
   double sweep_deadline_seconds = 0.0;
+  /// Optional persistent artifact store (disk tier).  When set, every
+  /// per-design cache the exploration creates is attached to it, so a
+  /// repeated sweep — including one in a fresh process — warm-starts from
+  /// earlier stage artifacts instead of recomputing them (cache_stats
+  /// `store_hits` counts the served artifacts).  Results are bit-identical
+  /// to a cold run.  Ignored by the `explore` overloads that take a
+  /// caller-owned cache (attach the store to that cache yourself).
+  std::shared_ptr<store::artifact_store> store;
 };
 
 /// The default configuration sweep: functional, ESOP p=0/1/2, hierarchical

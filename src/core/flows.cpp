@@ -7,6 +7,8 @@
 #include "dse.hpp" // dse_label for tail task keys
 #include "../reversible/verify.hpp"
 #include "../sat/incremental.hpp"
+#include "../store/artifact_store.hpp"
+#include "../store/serialize.hpp"
 #include "../synth/aig_optimize.hpp"
 #include "../synth/collapse.hpp"
 #include "../synth/esop_extract.hpp"
@@ -114,6 +116,27 @@ flow_result functional_tail( const flow_artifact_cache::functional_artifact& art
   return result;
 }
 
+/// Store payload of an ESOP artifact: budget flag byte + cube list.
+std::vector<std::uint8_t> encode_esop_payload( const flow_artifact_cache::esop_artifact& art )
+{
+  store::byte_writer w;
+  w.u8( art.budget_exhausted ? 1u : 0u );
+  store::write_esop( w, art.expression );
+  return w.take();
+}
+
+/// Store payload of an XMG artifact: graph + resynthesis statistics.
+std::vector<std::uint8_t> encode_xmg_payload( const flow_artifact_cache::xmg_artifact& art )
+{
+  store::byte_writer w;
+  store::write_xmg( w, art.graph );
+  w.u64( art.stats.luts );
+  w.u64( art.stats.direct_forms );
+  w.u64( art.stats.pprm_forms );
+  w.u64( art.stats.isop_forms );
+  return w.take();
+}
+
 } // namespace
 
 // --- flow_artifact_cache -----------------------------------------------------
@@ -129,14 +152,38 @@ void flow_artifact_cache::check_same_design( const aig_network& aig )
     bound_pis_ = aig.num_pis();
     bound_pos_ = aig.num_pos();
     bound_ands_ = aig.num_ands();
+    bound_hash_ = aig.content_hash();
     return;
   }
+  // Cheap size pre-check first; the structural hash then catches
+  // equal-sized but functionally distinct designs, which a size-only
+  // fingerprint silently aliased (serving one design's artifacts for the
+  // other).
   if ( aig.num_pis() != bound_pis_ || aig.num_pos() != bound_pos_ ||
-       aig.num_ands() != bound_ands_ )
+       aig.num_ands() != bound_ands_ || aig.content_hash() != bound_hash_ )
   {
     throw std::invalid_argument(
-        "flow_artifact_cache: cache is bound to one design AIG; use one cache per design" );
+        "flow_artifact_cache: cache is bound to one design AIG (structural content hash "
+        "mismatch); use one cache per design" );
   }
+}
+
+void flow_artifact_cache::attach_store( std::shared_ptr<store::artifact_store> disk )
+{
+  std::lock_guard<std::mutex> lock( mutex_ );
+  store_ = std::move( disk );
+}
+
+std::shared_ptr<store::artifact_store> flow_artifact_cache::attached_store() const
+{
+  std::lock_guard<std::mutex> lock( mutex_ );
+  return store_;
+}
+
+std::uint64_t flow_artifact_cache::design_hash() const
+{
+  std::lock_guard<std::mutex> lock( mutex_ );
+  return bound_ ? bound_hash_ : 0u;
 }
 
 const aig_network& flow_artifact_cache::optimized_locked( const aig_network& aig,
@@ -160,9 +207,32 @@ const aig_network& flow_artifact_cache::optimized_locked( const aig_network& aig
     ++stats_.hits;
     return it->second;
   }
+  const store::store_key skey{ bound_hash_, store::payload_kind::aig,
+                               optimize_artifact_key( rounds ) };
+  if ( store_ )
+  {
+    if ( const auto payload = store_->load( skey ) )
+    {
+      try
+      {
+        auto restored = store::deserialize_aig( *payload );
+        ++stats_.store_hits;
+        return optimized_.emplace( rounds, std::move( restored ) ).first->second;
+      }
+      catch ( const store::deserialize_error& )
+      {
+        // malformed payload behind a valid header: recompute below
+      }
+    }
+  }
   ++stats_.misses;
   fault_injection::poll( "flow.optimize" );
-  return optimized_.emplace( rounds, optimize( aig, rounds ) ).first->second;
+  const auto& art = optimized_.emplace( rounds, optimize( aig, rounds ) ).first->second;
+  if ( store_ )
+  {
+    store_->save( skey, store::serialize_aig( art ) );
+  }
+  return art;
 }
 
 const aig_network& flow_artifact_cache::optimized( const aig_network& aig, unsigned rounds )
@@ -175,6 +245,10 @@ const flow_artifact_cache::functional_artifact&
 flow_artifact_cache::functional_intermediate( const aig_network& aig, unsigned rounds )
 {
   std::lock_guard<std::mutex> lock( mutex_ );
+  check_same_design( aig );
+  // The functional intermediate (truth tables + embedding) has no disk
+  // tier: it is exponential in the input count by construction, so it is
+  // only ever built for small designs where recomputing is cheap.
   const auto it = functional_.find( rounds );
   if ( it != functional_.end() )
   {
@@ -196,25 +270,81 @@ flow_artifact_cache::esop_intermediate( const aig_network& aig, unsigned rounds,
                                         const exorcism_params& minimize_limits )
 {
   std::lock_guard<std::mutex> lock( mutex_ );
+  check_same_design( aig ); // binds the design hash before any store key is built
   const auto key = std::make_pair( rounds, run_exorcism );
+  // A requester with an unexpired deadline carries budget: it may upgrade
+  // a cached artifact whose minimization stopped at an earlier caller's
+  // budget instead of reusing the half-minimized cube list as-is.
+  const bool requester_has_budget = run_exorcism && !minimize_limits.stop.expired();
+  const auto upgrade = [&]( std::shared_ptr<esop_artifact>& slot ) {
+    auto upgraded = std::make_shared<esop_artifact>( *slot );
+    const auto mstats = exorcism( upgraded->expression, minimize_limits );
+    upgraded->budget_exhausted = mstats.budget_exhausted;
+    upgraded->terms = upgraded->expression.num_terms();
+    retired_esops_.push_back( slot ); // references handed out earlier stay valid
+    slot = std::move( upgraded );
+  };
+  const store::store_key skey{ bound_hash_, store::payload_kind::esop,
+                               "esop[r=" + std::to_string( rounds ) +
+                                   ",exo=" + ( run_exorcism ? "1" : "0" ) + "]" };
   const auto it = esops_.find( key );
   if ( it != esops_.end() )
   {
     ++stats_.hits;
-    return it->second;
+    if ( it->second->budget_exhausted && requester_has_budget )
+    {
+      upgrade( it->second );
+      if ( store_ )
+      {
+        store_->save( skey, encode_esop_payload( *it->second ) );
+      }
+    }
+    return *it->second;
+  }
+  if ( store_ )
+  {
+    if ( const auto payload = store_->load( skey ) )
+    {
+      try
+      {
+        store::byte_reader r( *payload );
+        auto art = std::make_shared<esop_artifact>();
+        art->budget_exhausted = r.u8() != 0u;
+        art->expression = store::read_esop( r );
+        r.expect_end();
+        art->terms = art->expression.num_terms();
+        ++stats_.store_hits;
+        auto& slot = esops_.emplace( key, std::move( art ) ).first->second;
+        if ( slot->budget_exhausted && requester_has_budget )
+        {
+          upgrade( slot );
+          store_->save( skey, encode_esop_payload( *slot ) );
+        }
+        return *slot;
+      }
+      catch ( const store::deserialize_error& )
+      {
+        // malformed payload behind a valid header: recompute below
+      }
+    }
   }
   const auto& opt = optimized_locked( aig, rounds );
   ++stats_.misses;
   fault_injection::poll( "flow.esop" );
-  esop_artifact art;
-  art.expression = esop_from_aig( opt );
+  auto art = std::make_shared<esop_artifact>();
+  art->expression = esop_from_aig( opt );
   if ( run_exorcism )
   {
-    const auto mstats = exorcism( art.expression, minimize_limits );
-    art.budget_exhausted = mstats.budget_exhausted;
+    const auto mstats = exorcism( art->expression, minimize_limits );
+    art->budget_exhausted = mstats.budget_exhausted;
   }
-  art.terms = art.expression.num_terms();
-  return esops_.emplace( key, std::move( art ) ).first->second;
+  art->terms = art->expression.num_terms();
+  const auto& slot = esops_.emplace( key, std::move( art ) ).first->second;
+  if ( store_ )
+  {
+    store_->save( skey, encode_esop_payload( *slot ) );
+  }
+  return *slot;
 }
 
 const flow_artifact_cache::xmg_artifact&
@@ -222,6 +352,7 @@ flow_artifact_cache::xmg_intermediate( const aig_network& aig, unsigned rounds,
                                        unsigned cut_size )
 {
   std::lock_guard<std::mutex> lock( mutex_ );
+  check_same_design( aig );
   const auto key = std::make_pair( rounds, cut_size );
   const auto it = xmgs_.find( key );
   if ( it != xmgs_.end() )
@@ -229,12 +360,43 @@ flow_artifact_cache::xmg_intermediate( const aig_network& aig, unsigned rounds,
     ++stats_.hits;
     return it->second;
   }
+  const store::store_key skey{ bound_hash_, store::payload_kind::xmg,
+                               "xmg[r=" + std::to_string( rounds ) +
+                                   ",k=" + std::to_string( cut_size ) + "]" };
+  if ( store_ )
+  {
+    if ( const auto payload = store_->load( skey ) )
+    {
+      try
+      {
+        store::byte_reader r( *payload );
+        xmg_artifact art;
+        art.graph = store::read_xmg( r );
+        art.stats.luts = r.u64();
+        art.stats.direct_forms = r.u64();
+        art.stats.pprm_forms = r.u64();
+        art.stats.isop_forms = r.u64();
+        r.expect_end();
+        ++stats_.store_hits;
+        return xmgs_.emplace( key, std::move( art ) ).first->second;
+      }
+      catch ( const store::deserialize_error& )
+      {
+        // malformed payload behind a valid header: recompute below
+      }
+    }
+  }
   const auto& opt = optimized_locked( aig, rounds );
   ++stats_.misses;
   fault_injection::poll( "flow.xmg" );
   xmg_artifact art;
   art.graph = xmg_from_aig( opt, cut_size, &art.stats );
-  return xmgs_.emplace( key, std::move( art ) ).first->second;
+  const auto& slot = xmgs_.emplace( key, std::move( art ) ).first->second;
+  if ( store_ )
+  {
+    store_->save( skey, encode_xmg_payload( slot ) );
+  }
+  return slot;
 }
 
 sat::incremental_cec& flow_artifact_cache::sat_engine()

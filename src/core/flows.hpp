@@ -177,23 +177,44 @@ struct flow_result
   std::uint64_t max_collisions = 0;  ///< functional flow (mu)
 };
 
-/// Cache hit/miss counters (one "access" per stage lookup).
+namespace store
+{
+class artifact_store;
+} // namespace store
+
+/// Cache hit/miss counters (one "access" per stage lookup).  With a disk
+/// tier attached the three counters partition the accesses: `hits` are
+/// served from memory, `store_hits` are deserialized from the attached
+/// `store::artifact_store` (and promoted into memory), and `misses` are
+/// actually computed (then written to both tiers).  Without a store,
+/// `store_hits` stays 0 and the counters keep their historical meaning.
 struct cache_stats
 {
   std::size_t hits = 0;
   std::size_t misses = 0;
+  std::size_t store_hits = 0;
 };
 
-/// Memoizes the stage artifacts of the flows for ONE design AIG (a size
-/// fingerprint rejects obvious cross-design reuse, but equal-sized
-/// distinct designs are on the caller — use one cache per design).  Each
-/// artifact is keyed on the parameter subset the stage depends on, so a
-/// sweep over `esop_p` or cleanup strategies shares everything upstream of
-/// the synthesis tail.  All accessors are thread-safe (one mutex; an
+/// Memoizes the stage artifacts of the flows for ONE design AIG.  The
+/// cache binds to the first design it sees via a structural content hash
+/// (`aig_network::content_hash()`) and rejects any other design with
+/// std::invalid_argument — including equal-sized distinct designs, which
+/// the old size-only fingerprint silently aliased.  Each artifact is
+/// keyed on the parameter subset the stage depends on, so a sweep over
+/// `esop_p` or cleanup strategies shares everything upstream of the
+/// synthesis tail.
+///
+/// With `attach_store`, the cache gains a persistent second tier:
+/// lookups go memory → disk → compute, computed artifacts are written
+/// back to disk, and a fresh process warm-starts from what earlier
+/// processes computed (same design hash × same parameter key — the store
+/// validates both).  All accessors are thread-safe (one mutex; an
 /// artifact is computed under the lock, so concurrent first accesses of
 /// the same key compute it once, and concurrent lookups of a key being
 /// computed block until it is ready).  References returned remain valid
-/// for the cache's lifetime (map nodes are stable).
+/// for the cache's lifetime (map nodes are stable; an ESOP artifact
+/// replaced by a budget upgrade retires — but keeps alive — the old
+/// object).
 class flow_artifact_cache
 {
 public:
@@ -234,9 +255,15 @@ public:
   /// Collapse + optimum embedding, keyed on rounds.
   const functional_artifact& functional_intermediate( const aig_network& aig, unsigned rounds );
   /// Extraction + optional exorcism, keyed on (rounds, run_exorcism).
-  /// `minimize_limits` (EXORCISM pair budget + deadline) applies to the
-  /// first computation of a key only — the cached artifact is reused as-is
-  /// afterwards, so a sweep must use one budget configuration per cache.
+  /// `minimize_limits` (EXORCISM pair budget + deadline) applies on a
+  /// miss; on a hit whose cached artifact stopped at its budget
+  /// (`budget_exhausted`), a requester that still has budget left
+  /// (unexpired deadline) re-minimizes the cached expression and upgrades
+  /// the entry in place — in memory and, when a store is attached, on
+  /// disk — so one early tight budget can no longer pin a sweep (or a
+  /// warm-started process) to a half-minimized cube list forever.
+  /// References returned earlier stay valid (the superseded artifact is
+  /// retired, not destroyed).
   const esop_artifact& esop_intermediate( const aig_network& aig, unsigned rounds,
                                           bool run_exorcism,
                                           const exorcism_params& minimize_limits = {} );
@@ -261,6 +288,17 @@ public:
   /// the flow itself.
   void prefetch( const aig_network& aig, const flow_params& params, const deadline& stop = {} );
 
+  /// Attaches (or detaches, with nullptr) the persistent disk tier.  The
+  /// store is consulted between memory lookup and computation and written
+  /// back to on every computation (and ESOP upgrade); several caches —
+  /// across threads and processes — may share one store.
+  void attach_store( std::shared_ptr<store::artifact_store> disk );
+  [[nodiscard]] std::shared_ptr<store::artifact_store> attached_store() const;
+
+  /// Structural content hash of the bound design (0 until the first
+  /// lookup binds the cache) — the store tier's design key.
+  [[nodiscard]] std::uint64_t design_hash() const;
+
   cache_stats stats() const;
 
 private:
@@ -270,14 +308,20 @@ private:
   mutable std::mutex mutex_;
   std::map<unsigned, aig_network> optimized_;
   std::map<unsigned, functional_artifact> functional_;
-  std::map<std::pair<unsigned, bool>, esop_artifact> esops_;
+  /// shared_ptr values: a budget upgrade publishes a NEW artifact object
+  /// and moves the superseded one to `retired_esops_`, keeping references
+  /// handed out earlier alive without mutating them under readers.
+  std::map<std::pair<unsigned, bool>, std::shared_ptr<esop_artifact>> esops_;
+  std::vector<std::shared_ptr<esop_artifact>> retired_esops_;
   std::map<std::pair<unsigned, unsigned>, xmg_artifact> xmgs_;
   std::unique_ptr<sat::incremental_cec> sat_engine_; ///< lazily created
+  std::shared_ptr<store::artifact_store> store_; ///< optional disk tier
   cache_stats stats_;
-  bool bound_ = false;        ///< cache is bound to the first design seen
-  unsigned bound_pis_ = 0;    ///< best-effort guard against cross-design reuse
-  unsigned bound_pos_ = 0;    ///< (size fingerprint only — equal-sized distinct
-  std::size_t bound_ands_ = 0; ///< designs are NOT detected; contract above)
+  bool bound_ = false;           ///< cache is bound to the first design seen
+  unsigned bound_pis_ = 0;       ///< cheap pre-check before the hash compare
+  unsigned bound_pos_ = 0;
+  std::size_t bound_ands_ = 0;
+  std::uint64_t bound_hash_ = 0; ///< content hash of the bound design
 };
 
 /// Stage name of a flow's backend intermediate ("collapse", "esop",
@@ -306,9 +350,10 @@ struct flow_task_ids
 /// three task ids.  Artifact tasks are keyed `key_prefix +
 /// optimize_artifact_key/flow_artifact_key` via `task_graph::add_shared`,
 /// so configurations (or repeat calls) sharing an artifact coalesce onto
-/// ONE task — the first caller's budget limits apply to the shared stage,
-/// mirroring `flow_artifact_cache::esop_intermediate`'s
-/// first-computation-wins contract.  The tail task runs
+/// ONE task — the first caller's budget limits apply to the shared stage
+/// (a later tail with remaining budget upgrades a budget-exhausted ESOP
+/// artifact through `flow_artifact_cache::esop_intermediate`'s
+/// re-minimization path).  The tail task runs
 /// `run_flow_staged` (every stage lookup then hits) and assigns `out`;
 /// `aig`, `cache`, `stop`, and `out` must outlive the graph run.  `stop`
 /// is read when each task runs, not copied at build time, so a batch

@@ -1,5 +1,7 @@
 #include "aig.hpp"
 
+#include "../common/content_hash.hpp"
+
 #include <algorithm>
 #include <cassert>
 #include <queue>
@@ -330,6 +332,38 @@ aig_network aig_network::cleanup( std::vector<aig_lit>* old_to_new ) const
     *old_to_new = std::move( map );
   }
   return result;
+}
+
+std::uint64_t aig_network::content_hash() const
+{
+  content_hasher h;
+  h.update_u32( num_pis_ );
+  h.update_u32( static_cast<std::uint32_t>( nodes_.size() ) );
+  for ( std::uint32_t n = num_pis_ + 1u; n < nodes_.size(); ++n )
+  {
+    h.update_u32( nodes_[n].fanin0 );
+    h.update_u32( nodes_[n].fanin1 );
+  }
+  h.update_u32( static_cast<std::uint32_t>( pos_.size() ) );
+  for ( const auto po : pos_ )
+  {
+    h.update_u32( po );
+  }
+  return h.digest();
+}
+
+aig_lit aig_network::append_raw_and( aig_lit fanin0, aig_lit fanin1 )
+{
+  if ( lit_node( fanin0 ) >= nodes_.size() || lit_node( fanin1 ) >= nodes_.size() )
+  {
+    throw std::invalid_argument( "aig_network::append_raw_and: fanin references a future node" );
+  }
+  const auto node = static_cast<std::uint32_t>( nodes_.size() );
+  nodes_.push_back( { fanin0, fanin1 } );
+  const auto key = fanin0 <= fanin1 ? std::make_pair( fanin0, fanin1 )
+                                    : std::make_pair( fanin1, fanin0 );
+  strash_.emplace( key, node ); // keeps the first node of a duplicate pair
+  return make_lit( node );
 }
 
 std::string aig_network::to_dot( const std::string& name ) const

@@ -118,6 +118,20 @@ public:
   /// node, or 0xffffffff for dropped nodes).
   aig_network cleanup( std::vector<aig_lit>* old_to_new = nullptr ) const;
 
+  /// Stable 64-bit structural content hash over (num_pis, every AND node's
+  /// fanin literals in topological order, every PO literal).  Identical
+  /// node/PO structure hashes identically across processes and platforms;
+  /// it is the design-identity component of artifact-store keys and the
+  /// cross-design reuse guard of `flow_artifact_cache`.
+  std::uint64_t content_hash() const;
+
+  /// Appends one AND node with exactly the given fanins — no folding, no
+  /// normalization, no strash lookup (the strash table is still updated, so
+  /// later `create_and` calls keep hash-consing).  This exists for the
+  /// artifact-store deserializer, which must reproduce a serialized network
+  /// node-for-node; fanin literals must reference existing nodes.
+  aig_lit append_raw_and( aig_lit fanin0, aig_lit fanin1 );
+
   /// Graphviz dump for debugging / the Figure-1 bench.
   std::string to_dot( const std::string& name = "aig" ) const;
 

@@ -342,6 +342,30 @@ std::vector<bool> xmg_network::evaluate( const std::vector<bool>& inputs ) const
   return result;
 }
 
+xmg_lit xmg_network::append_raw_node( node_kind kind, const std::array<xmg_lit, 3>& fanin )
+{
+  if ( kind != node_kind::maj && kind != node_kind::xor2 )
+  {
+    throw std::invalid_argument( "xmg_network::append_raw_node: kind must be maj or xor2" );
+  }
+  for ( const auto f : fanin )
+  {
+    if ( ( f >> 1 ) >= nodes_.size() )
+    {
+      throw std::invalid_argument( "xmg_network::append_raw_node: fanin references a future node" );
+    }
+  }
+  const auto node = static_cast<std::uint32_t>( nodes_.size() );
+  nodes_.push_back( { kind, fanin } );
+  // Mirror the strash key layout of create_maj / create_xor so hash-consed
+  // construction keeps working after a raw append.
+  const std::array<xmg_lit, 4> key = kind == node_kind::maj
+                                         ? std::array<xmg_lit, 4>{ fanin[0], fanin[1], fanin[2], 0u }
+                                         : std::array<xmg_lit, 4>{ fanin[0], fanin[1], 0u, 1u };
+  strash_.emplace( key, node );
+  return node << 1;
+}
+
 xmg_network xmg_network::cleanup() const
 {
   std::vector<bool> reachable( nodes_.size(), false );

@@ -91,6 +91,12 @@ public:
   /// Copy with only PO-reachable nodes.
   xmg_network cleanup() const;
 
+  /// Appends one logic node with exactly the given kind and fanins — no
+  /// canonicalization or strash lookup (the strash table is still updated).
+  /// For the artifact-store deserializer, which must reproduce a serialized
+  /// graph node-for-node; `kind` must be `maj` or `xor2`.
+  xmg_lit append_raw_node( node_kind kind, const std::array<xmg_lit, 3>& fanin );
+
   /// Graphviz dump.
   std::string to_dot( const std::string& name = "xmg" ) const;
 

@@ -1,0 +1,238 @@
+#include "artifact_store.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <stdexcept>
+#include <system_error>
+#include <unistd.h>
+
+#include "../common/content_hash.hpp"
+#include "serialize.hpp"
+
+namespace qsyn::store
+{
+
+namespace
+{
+
+constexpr std::uint32_t store_magic = 0x52415351u; // "QSAR" little-endian
+
+std::uint64_t payload_checksum( const std::vector<std::uint8_t>& payload )
+{
+  // FNV-1a + finalizer, same construction as content_hasher, over raw bytes.
+  std::uint64_t state = content_hasher::offset_basis;
+  for ( const auto b : payload )
+  {
+    state = ( state ^ b ) * content_hasher::prime;
+  }
+  content_hasher h;
+  h.update( state );
+  return h.digest();
+}
+
+std::string hex64( std::uint64_t v )
+{
+  char buf[17];
+  std::snprintf( buf, sizeof buf, "%016llx", static_cast<unsigned long long>( v ) );
+  return buf;
+}
+
+std::string kind_name( payload_kind kind )
+{
+  switch ( kind )
+  {
+  case payload_kind::aig:
+    return "aig";
+  case payload_kind::esop:
+    return "esop";
+  case payload_kind::xmg:
+    return "xmg";
+  case payload_kind::circuit:
+    return "circuit";
+  case payload_kind::flow_outcome:
+    return "flow";
+  }
+  return "unknown";
+}
+
+/// Filename-safe rendering of a parameter key; the appended key hash keeps
+/// distinct keys distinct even when sanitization collides them.
+std::string sanitize( const std::string& key )
+{
+  std::string out;
+  out.reserve( key.size() );
+  for ( const char c : key )
+  {
+    const bool ok = ( c >= 'a' && c <= 'z' ) || ( c >= 'A' && c <= 'Z' ) ||
+                    ( c >= '0' && c <= '9' ) || c == '-' || c == '.';
+    out.push_back( ok ? c : '_' );
+  }
+  if ( out.size() > 80u )
+  {
+    out.resize( 80u );
+  }
+  return out;
+}
+
+/// Process-unique temp-file counter (the pid alone is not enough: several
+/// threads of one daemon write concurrently).
+std::uint64_t next_temp_id()
+{
+  static std::atomic<std::uint64_t> counter{ 0 };
+  return counter.fetch_add( 1, std::memory_order_relaxed );
+}
+
+} // namespace
+
+artifact_store::artifact_store( std::string root_dir ) : root_( std::move( root_dir ) )
+{
+  std::error_code ec;
+  std::filesystem::create_directories( root_, ec );
+  if ( ec || !std::filesystem::is_directory( root_ ) )
+  {
+    throw std::runtime_error( "artifact_store: cannot create store root '" + root_ + "'" );
+  }
+}
+
+std::string artifact_store::entry_path( const store_key& key ) const
+{
+  const auto dir = std::filesystem::path( root_ ) / hex64( key.design_hash );
+  const auto name = kind_name( key.kind ) + "-" + sanitize( key.param_key ) + "-" +
+                    hex64( content_hash_bytes( key.param_key ) ).substr( 8 ) + ".qsa";
+  return ( dir / name ).string();
+}
+
+bool artifact_store::save( const store_key& key, const std::vector<std::uint8_t>& payload )
+{
+  // Assemble the complete entry (versioned header + checksummed payload)
+  // in memory first; the file appears atomically via rename below.
+  byte_writer w;
+  w.u32( store_magic );
+  w.u32( format_version );
+  w.u32( static_cast<std::uint32_t>( key.kind ) );
+  w.u64( key.design_hash );
+  w.str( key.param_key );
+  w.u64( payload.size() );
+  w.u64( payload_checksum( payload ) );
+  auto bytes = w.take();
+  bytes.insert( bytes.end(), payload.begin(), payload.end() );
+
+  const std::filesystem::path final_path = entry_path( key );
+  std::error_code ec;
+  std::filesystem::create_directories( final_path.parent_path(), ec );
+  const auto temp_path =
+      final_path.parent_path() /
+      ( ".tmp-" + std::to_string( static_cast<long long>( ::getpid() ) ) + "-" +
+        std::to_string( next_temp_id() ) );
+
+  const auto fail = [this, &temp_path] {
+    std::error_code cleanup_ec;
+    std::filesystem::remove( temp_path, cleanup_ec );
+    std::lock_guard<std::mutex> lock( mutex_ );
+    ++stats_.write_failures;
+    return false;
+  };
+
+  {
+    std::ofstream out( temp_path, std::ios::binary | std::ios::trunc );
+    if ( !out )
+    {
+      return fail();
+    }
+    out.write( reinterpret_cast<const char*>( bytes.data() ),
+               static_cast<std::streamsize>( bytes.size() ) );
+    out.flush();
+    if ( !out )
+    {
+      return fail();
+    }
+  }
+  std::filesystem::rename( temp_path, final_path, ec );
+  if ( ec )
+  {
+    return fail();
+  }
+  std::lock_guard<std::mutex> lock( mutex_ );
+  ++stats_.writes;
+  return true;
+}
+
+std::optional<std::vector<std::uint8_t>> artifact_store::load( const store_key& key )
+{
+  const auto miss = [this]( bool corrupt ) -> std::optional<std::vector<std::uint8_t>> {
+    std::lock_guard<std::mutex> lock( mutex_ );
+    ++stats_.misses;
+    if ( corrupt )
+    {
+      ++stats_.corrupt_entries;
+    }
+    return std::nullopt;
+  };
+
+  std::ifstream in( entry_path( key ), std::ios::binary );
+  if ( !in )
+  {
+    return miss( false );
+  }
+  std::vector<std::uint8_t> bytes( ( std::istreambuf_iterator<char>( in ) ),
+                                   std::istreambuf_iterator<char>() );
+  if ( !in.good() && !in.eof() )
+  {
+    return miss( true );
+  }
+
+  try
+  {
+    byte_reader r( bytes );
+    if ( r.u32() != store_magic )
+    {
+      return miss( true );
+    }
+    if ( r.u32() != format_version )
+    {
+      return miss( true ); // mis-versioned entry: recompute, never reinterpret
+    }
+    if ( r.u32() != static_cast<std::uint32_t>( key.kind ) )
+    {
+      return miss( true );
+    }
+    if ( r.u64() != key.design_hash )
+    {
+      return miss( true );
+    }
+    if ( r.str() != key.param_key )
+    {
+      return miss( true );
+    }
+    const auto payload_size = r.u64();
+    const auto checksum = r.u64();
+    if ( payload_size != r.remaining() )
+    {
+      return miss( true );
+    }
+    std::vector<std::uint8_t> payload( bytes.end() - static_cast<std::ptrdiff_t>( payload_size ),
+                                       bytes.end() );
+    if ( payload_checksum( payload ) != checksum )
+    {
+      return miss( true );
+    }
+    std::lock_guard<std::mutex> lock( mutex_ );
+    ++stats_.hits;
+    return payload;
+  }
+  catch ( const deserialize_error& )
+  {
+    return miss( true ); // truncated header
+  }
+}
+
+store_stats artifact_store::stats() const
+{
+  std::lock_guard<std::mutex> lock( mutex_ );
+  return stats_;
+}
+
+} // namespace qsyn::store

@@ -1,0 +1,823 @@
+#include "daemon.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "../common/timer.hpp"
+#include "../core/dse.hpp" // dse_label
+#include "../verilog/elaborator.hpp"
+#include "serialize.hpp"
+
+namespace qsyn::store
+{
+
+// --- flat JSON ---------------------------------------------------------------
+
+std::string json_escape( const std::string& s )
+{
+  std::string out;
+  out.reserve( s.size() + 2 );
+  for ( const char c : s )
+  {
+    switch ( c )
+    {
+    case '"':
+      out += "\\\"";
+      break;
+    case '\\':
+      out += "\\\\";
+      break;
+    case '\n':
+      out += "\\n";
+      break;
+    case '\r':
+      out += "\\r";
+      break;
+    case '\t':
+      out += "\\t";
+      break;
+    default:
+      if ( static_cast<unsigned char>( c ) < 0x20u )
+      {
+        char buf[8];
+        std::snprintf( buf, sizeof buf, "\\u%04x", c );
+        out += buf;
+      }
+      else
+      {
+        out += c;
+      }
+    }
+  }
+  return out;
+}
+
+namespace
+{
+
+void skip_ws( const std::string& s, std::size_t& i )
+{
+  while ( i < s.size() && ( s[i] == ' ' || s[i] == '\t' || s[i] == '\r' || s[i] == '\n' ) )
+  {
+    ++i;
+  }
+}
+
+std::string parse_json_string( const std::string& s, std::size_t& i )
+{
+  if ( i >= s.size() || s[i] != '"' )
+  {
+    throw std::runtime_error( "json: expected string" );
+  }
+  ++i;
+  std::string out;
+  while ( true )
+  {
+    if ( i >= s.size() )
+    {
+      throw std::runtime_error( "json: unterminated string" );
+    }
+    const char c = s[i++];
+    if ( c == '"' )
+    {
+      return out;
+    }
+    if ( c != '\\' )
+    {
+      out += c;
+      continue;
+    }
+    if ( i >= s.size() )
+    {
+      throw std::runtime_error( "json: dangling escape" );
+    }
+    const char e = s[i++];
+    switch ( e )
+    {
+    case '"':
+    case '\\':
+    case '/':
+      out += e;
+      break;
+    case 'n':
+      out += '\n';
+      break;
+    case 't':
+      out += '\t';
+      break;
+    case 'r':
+      out += '\r';
+      break;
+    case 'b':
+      out += '\b';
+      break;
+    case 'f':
+      out += '\f';
+      break;
+    case 'u':
+    {
+      if ( i + 4 > s.size() )
+      {
+        throw std::runtime_error( "json: truncated \\u escape" );
+      }
+      unsigned cp = 0;
+      for ( int k = 0; k < 4; ++k )
+      {
+        const char h = s[i++];
+        cp <<= 4;
+        if ( h >= '0' && h <= '9' )
+        {
+          cp |= static_cast<unsigned>( h - '0' );
+        }
+        else if ( h >= 'a' && h <= 'f' )
+        {
+          cp |= static_cast<unsigned>( h - 'a' + 10 );
+        }
+        else if ( h >= 'A' && h <= 'F' )
+        {
+          cp |= static_cast<unsigned>( h - 'A' + 10 );
+        }
+        else
+        {
+          throw std::runtime_error( "json: bad \\u escape" );
+        }
+      }
+      // Basic-plane UTF-8 encoding (surrogate pairs are rejected — the
+      // protocol's field values are ASCII identifiers and numbers).
+      if ( cp >= 0xd800u && cp <= 0xdfffu )
+      {
+        throw std::runtime_error( "json: surrogate escapes unsupported" );
+      }
+      if ( cp < 0x80u )
+      {
+        out += static_cast<char>( cp );
+      }
+      else if ( cp < 0x800u )
+      {
+        out += static_cast<char>( 0xc0u | ( cp >> 6 ) );
+        out += static_cast<char>( 0x80u | ( cp & 0x3fu ) );
+      }
+      else
+      {
+        out += static_cast<char>( 0xe0u | ( cp >> 12 ) );
+        out += static_cast<char>( 0x80u | ( ( cp >> 6 ) & 0x3fu ) );
+        out += static_cast<char>( 0x80u | ( cp & 0x3fu ) );
+      }
+      break;
+    }
+    default:
+      throw std::runtime_error( "json: unknown escape" );
+    }
+  }
+}
+
+} // namespace
+
+std::map<std::string, std::string> parse_flat_json( const std::string& line )
+{
+  std::map<std::string, std::string> fields;
+  std::size_t i = 0;
+  skip_ws( line, i );
+  if ( i >= line.size() || line[i] != '{' )
+  {
+    throw std::runtime_error( "json: expected object" );
+  }
+  ++i;
+  skip_ws( line, i );
+  if ( i < line.size() && line[i] == '}' )
+  {
+    return fields;
+  }
+  while ( true )
+  {
+    skip_ws( line, i );
+    const auto key = parse_json_string( line, i );
+    skip_ws( line, i );
+    if ( i >= line.size() || line[i] != ':' )
+    {
+      throw std::runtime_error( "json: expected ':' after key" );
+    }
+    ++i;
+    skip_ws( line, i );
+    if ( i >= line.size() )
+    {
+      throw std::runtime_error( "json: missing value" );
+    }
+    std::string value;
+    if ( line[i] == '"' )
+    {
+      value = parse_json_string( line, i );
+    }
+    else
+    {
+      // number / true / false / null — everything up to the next
+      // separator, validated as a bare token
+      const auto start = i;
+      while ( i < line.size() && line[i] != ',' && line[i] != '}' && line[i] != ' ' &&
+              line[i] != '\t' )
+      {
+        if ( line[i] == '{' || line[i] == '[' )
+        {
+          throw std::runtime_error( "json: nested values unsupported" );
+        }
+        ++i;
+      }
+      value = line.substr( start, i - start );
+      if ( value.empty() )
+      {
+        throw std::runtime_error( "json: empty value" );
+      }
+    }
+    fields[key] = value;
+    skip_ws( line, i );
+    if ( i >= line.size() )
+    {
+      throw std::runtime_error( "json: unterminated object" );
+    }
+    if ( line[i] == ',' )
+    {
+      ++i;
+      continue;
+    }
+    if ( line[i] == '}' )
+    {
+      return fields;
+    }
+    throw std::runtime_error( "json: expected ',' or '}'" );
+  }
+}
+
+// --- request helpers ---------------------------------------------------------
+
+namespace
+{
+
+std::string field_or( const std::map<std::string, std::string>& fields, const std::string& key,
+                      const std::string& fallback )
+{
+  const auto it = fields.find( key );
+  return it == fields.end() ? fallback : it->second;
+}
+
+unsigned uint_field( const std::map<std::string, std::string>& fields, const std::string& key,
+                     unsigned fallback )
+{
+  const auto it = fields.find( key );
+  if ( it == fields.end() )
+  {
+    return fallback;
+  }
+  std::size_t pos = 0;
+  const auto value = std::stoul( it->second, &pos );
+  if ( pos != it->second.size() || value > 0xffffffffull )
+  {
+    throw std::runtime_error( "field '" + key + "' is not an unsigned integer" );
+  }
+  return static_cast<unsigned>( value );
+}
+
+double double_field( const std::map<std::string, std::string>& fields, const std::string& key,
+                     double fallback )
+{
+  const auto it = fields.find( key );
+  if ( it == fields.end() )
+  {
+    return fallback;
+  }
+  std::size_t pos = 0;
+  const auto value = std::stod( it->second, &pos );
+  if ( pos != it->second.size() || value < 0.0 )
+  {
+    throw std::runtime_error( "field '" + key + "' is not a non-negative number" );
+  }
+  return value;
+}
+
+std::string number_json( double v )
+{
+  char buf[32];
+  std::snprintf( buf, sizeof buf, "%.6f", v );
+  return buf;
+}
+
+flow_params params_from_fields( const std::map<std::string, std::string>& fields )
+{
+  flow_params params;
+  const auto flow = field_or( fields, "flow", "hierarchical" );
+  if ( flow == "functional" )
+  {
+    params.kind = flow_kind::functional;
+  }
+  else if ( flow == "esop" )
+  {
+    params.kind = flow_kind::esop_based;
+  }
+  else if ( flow == "hierarchical" )
+  {
+    params.kind = flow_kind::hierarchical;
+  }
+  else
+  {
+    throw std::runtime_error( "unknown flow '" + flow + "'" );
+  }
+  params.optimization_rounds = uint_field( fields, "rounds", params.optimization_rounds );
+  params.esop_p = uint_field( fields, "esop_p", params.esop_p );
+  params.run_exorcism = uint_field( fields, "exorcism", params.run_exorcism ? 1u : 0u ) != 0u;
+  params.cut_size = uint_field( fields, "cut_size", params.cut_size );
+  const auto cleanup = field_or( fields, "cleanup", "keep_garbage" );
+  if ( cleanup == "keep_garbage" )
+  {
+    params.cleanup = cleanup_strategy::keep_garbage;
+  }
+  else if ( cleanup == "bennett" )
+  {
+    params.cleanup = cleanup_strategy::bennett;
+  }
+  else if ( cleanup == "eager" )
+  {
+    params.cleanup = cleanup_strategy::eager;
+  }
+  else
+  {
+    throw std::runtime_error( "unknown cleanup '" + cleanup + "'" );
+  }
+  const auto verify = field_or( fields, "verify", "sampled" );
+  const auto mode = verify_mode_from_name( verify );
+  if ( !mode )
+  {
+    throw std::runtime_error( "unknown verify mode '" + verify + "'" );
+  }
+  params.verification = *mode;
+  params.verify = *mode != verify_mode::none;
+  params.limits.deadline_seconds = double_field( fields, "deadline", 0.0 );
+  return params;
+}
+
+/// Canonical result-cache key of a synthesize query: the flow's full
+/// parameter identity plus the verify tier (a cached verdict must match
+/// the tier that was asked for).
+std::string outcome_key( const flow_params& params )
+{
+  std::string key = "flow[" + flow_artifact_key( params );
+  switch ( params.kind )
+  {
+  case flow_kind::functional:
+    key += ",bidir=" + std::string( params.bidirectional_tbs ? "1" : "0" );
+    break;
+  case flow_kind::esop_based:
+    key += ",p=" + std::to_string( params.esop_p );
+    break;
+  case flow_kind::hierarchical:
+    key += ",cleanup=" + std::to_string( static_cast<unsigned>( params.cleanup ) );
+    break;
+  }
+  key += ",verify=" + verify_mode_name( params.verify ? params.verification : verify_mode::none );
+  key += "]";
+  return key;
+}
+
+std::vector<std::uint8_t> encode_outcome( const flow_result& result )
+{
+  byte_writer w;
+  w.u8( static_cast<std::uint8_t>( result.status ) );
+  w.u8( result.verified ? 1u : 0u );
+  w.u8( static_cast<std::uint8_t>( result.verified_with ) );
+  w.u8( result.verify_downgraded ? 1u : 0u );
+  w.f64( result.runtime_seconds );
+  w.f64( result.verify_seconds );
+  w.u32( result.costs.qubits );
+  w.u64( result.costs.t_count );
+  w.u64( result.costs.gates );
+  w.u64( result.costs.toffoli_gates );
+  w.u64( result.costs.depth );
+  w.u64( result.esop_terms );
+  w.u64( result.xmg_maj );
+  w.u64( result.xmg_xor );
+  w.u32( result.embedding_lines );
+  w.u64( result.max_collisions );
+  w.u64( result.aig_nodes_initial );
+  w.u64( result.aig_nodes_optimized );
+  w.str( result.status_detail );
+  write_circuit( w, result.circuit );
+  return w.take();
+}
+
+flow_result decode_outcome( const std::vector<std::uint8_t>& payload )
+{
+  byte_reader r( payload );
+  flow_result result;
+  const auto status = r.u8();
+  if ( status > static_cast<std::uint8_t>( flow_status::failed ) )
+  {
+    throw deserialize_error( "outcome: unknown status" );
+  }
+  result.status = static_cast<flow_status>( status );
+  result.verified = r.u8() != 0u;
+  const auto tier = r.u8();
+  if ( tier > static_cast<std::uint8_t>( verify_mode::sat ) )
+  {
+    throw deserialize_error( "outcome: unknown verify tier" );
+  }
+  result.verified_with = static_cast<verify_mode>( tier );
+  result.verify_downgraded = r.u8() != 0u;
+  result.runtime_seconds = r.f64();
+  result.verify_seconds = r.f64();
+  result.costs.qubits = r.u32();
+  result.costs.t_count = r.u64();
+  result.costs.gates = r.u64();
+  result.costs.toffoli_gates = r.u64();
+  result.costs.depth = r.u64();
+  result.esop_terms = r.u64();
+  result.xmg_maj = r.u64();
+  result.xmg_xor = r.u64();
+  result.embedding_lines = r.u32();
+  result.max_collisions = r.u64();
+  result.aig_nodes_initial = r.u64();
+  result.aig_nodes_optimized = r.u64();
+  result.status_detail = r.str();
+  result.circuit = read_circuit( r );
+  r.expect_end();
+  return result;
+}
+
+std::string synthesize_response( const flow_params& params, const flow_result& result,
+                                 bool from_cache, double seconds )
+{
+  std::string out = "{\"ok\":true";
+  out += ",\"label\":\"" + json_escape( dse_label( params ) ) + "\"";
+  out += ",\"from_cache\":" + std::string( from_cache ? "true" : "false" );
+  out += ",\"qubits\":" + std::to_string( result.costs.qubits );
+  out += ",\"t_count\":" + std::to_string( result.costs.t_count );
+  out += ",\"gates\":" + std::to_string( result.costs.gates );
+  out += ",\"toffoli_gates\":" + std::to_string( result.costs.toffoli_gates );
+  out += ",\"depth\":" + std::to_string( result.costs.depth );
+  out += ",\"status\":\"" + flow_status_name( result.status ) + "\"";
+  if ( !result.status_detail.empty() )
+  {
+    out += ",\"status_detail\":\"" + json_escape( result.status_detail ) + "\"";
+  }
+  out += ",\"verified\":" + std::string( result.verified ? "true" : "false" );
+  out += ",\"verified_with\":\"" + verify_mode_name( result.verified_with ) + "\"";
+  if ( result.esop_terms != 0u )
+  {
+    out += ",\"esop_terms\":" + std::to_string( result.esop_terms );
+  }
+  if ( result.xmg_maj != 0u || result.xmg_xor != 0u )
+  {
+    out += ",\"xmg_maj\":" + std::to_string( result.xmg_maj );
+    out += ",\"xmg_xor\":" + std::to_string( result.xmg_xor );
+  }
+  out += ",\"runtime_seconds\":" + number_json( result.runtime_seconds );
+  out += ",\"seconds\":" + number_json( seconds );
+  out += "}";
+  return out;
+}
+
+std::string error_response( const std::string& message )
+{
+  return "{\"ok\":false,\"error\":\"" + json_escape( message ) + "\"}";
+}
+
+} // namespace
+
+// --- daemon core -------------------------------------------------------------
+
+/// Everything the daemon keeps alive for one (design, bitwidth): the
+/// elaborated AIG, its content hash, the stage-artifact cache (which owns
+/// the persistent SAT engine and is attached to the shared store), and
+/// the in-memory result cache.
+struct synthesis_daemon::design_context
+{
+  aig_network aig{ 0 };
+  std::uint64_t design_hash = 0;
+  flow_artifact_cache cache;
+  std::mutex results_mutex;
+  std::map<std::string, flow_result> results;
+};
+
+synthesis_daemon::synthesis_daemon( daemon_options options ) : options_( std::move( options ) )
+{
+  if ( !options_.store_root.empty() )
+  {
+    store_ = std::make_shared<artifact_store>( options_.store_root );
+  }
+}
+
+synthesis_daemon::~synthesis_daemon()
+{
+  stop();
+}
+
+synthesis_daemon::design_context& synthesis_daemon::context_for( const std::string& design,
+                                                                 unsigned bitwidth )
+{
+  const auto key = design + ":" + std::to_string( bitwidth );
+  std::lock_guard<std::mutex> lock( mutex_ );
+  auto it = designs_.find( key );
+  if ( it != designs_.end() )
+  {
+    return *it->second;
+  }
+  reciprocal_design kind;
+  if ( design == "intdiv" )
+  {
+    kind = reciprocal_design::intdiv;
+  }
+  else if ( design == "newton" )
+  {
+    kind = reciprocal_design::newton;
+  }
+  else
+  {
+    throw std::runtime_error( "unknown design '" + design + "' (intdiv|newton)" );
+  }
+  auto ctx = std::make_unique<design_context>();
+  ctx->aig = verilog::elaborate_verilog( reciprocal_verilog( kind, bitwidth ) ).aig;
+  ctx->design_hash = ctx->aig.content_hash();
+  ctx->cache.attach_store( store_ );
+  return *designs_.emplace( key, std::move( ctx ) ).first->second;
+}
+
+std::string synthesis_daemon::handle_synthesize( const std::map<std::string, std::string>& fields )
+{
+  stopwatch watch;
+  const auto design = field_or( fields, "design", "" );
+  if ( design.empty() )
+  {
+    throw std::runtime_error( "synthesize needs a 'design' field" );
+  }
+  const auto bitwidth = uint_field( fields, "bitwidth", 0u );
+  if ( bitwidth == 0u )
+  {
+    throw std::runtime_error( "synthesize needs a nonzero 'bitwidth' field" );
+  }
+  const auto params = params_from_fields( fields );
+  auto& ctx = context_for( design, bitwidth );
+  const auto rkey = outcome_key( params );
+
+  // Result-cache tiers: memory, then disk.  A full hit skips synthesis
+  // AND verification — the cached entry carries the verdict.
+  {
+    std::lock_guard<std::mutex> lock( ctx.results_mutex );
+    const auto it = ctx.results.find( rkey );
+    if ( it != ctx.results.end() )
+    {
+      {
+        std::lock_guard<std::mutex> slock( mutex_ );
+        ++stats_.result_hits;
+      }
+      return synthesize_response( params, it->second, true, watch.elapsed_seconds() );
+    }
+  }
+  const store_key skey{ ctx.design_hash, payload_kind::flow_outcome, rkey };
+  if ( store_ )
+  {
+    if ( const auto payload = store_->load( skey ) )
+    {
+      try
+      {
+        auto result = decode_outcome( *payload );
+        {
+          std::lock_guard<std::mutex> lock( ctx.results_mutex );
+          ctx.results.emplace( rkey, result );
+        }
+        {
+          std::lock_guard<std::mutex> slock( mutex_ );
+          ++stats_.result_hits;
+        }
+        return synthesize_response( params, result, true, watch.elapsed_seconds() );
+      }
+      catch ( const deserialize_error& )
+      {
+        // corrupt outcome entry: recompute below
+      }
+    }
+  }
+
+  const auto result = run_flow_staged( ctx.aig, params, ctx.cache );
+  {
+    std::lock_guard<std::mutex> slock( mutex_ );
+    ++stats_.synthesized;
+  }
+  // Only completed results are worth remembering: a timed-out or failed
+  // attempt must not pin the failure for every later (possibly
+  // better-budgeted) requester.
+  if ( result.status == flow_status::ok || result.status == flow_status::degraded )
+  {
+    {
+      std::lock_guard<std::mutex> lock( ctx.results_mutex );
+      ctx.results.emplace( rkey, result );
+    }
+    if ( store_ )
+    {
+      store_->save( skey, encode_outcome( result ) );
+    }
+  }
+  return synthesize_response( params, result, false, watch.elapsed_seconds() );
+}
+
+std::string synthesis_daemon::handle_request( const std::string& line )
+{
+  {
+    std::lock_guard<std::mutex> lock( mutex_ );
+    ++stats_.requests;
+  }
+  try
+  {
+    const auto fields = parse_flat_json( line );
+    const auto cmd = field_or( fields, "cmd", "" );
+    if ( cmd == "ping" )
+    {
+      return "{\"ok\":true,\"pong\":true}";
+    }
+    if ( cmd == "shutdown" )
+    {
+      shutdown_requested_.store( true );
+      return "{\"ok\":true,\"stopping\":true}";
+    }
+    if ( cmd == "stats" )
+    {
+      daemon_stats d;
+      std::size_t num_designs = 0;
+      cache_stats artifacts;
+      {
+        std::lock_guard<std::mutex> lock( mutex_ );
+        d = stats_;
+        num_designs = designs_.size();
+        for ( const auto& [name, ctx] : designs_ )
+        {
+          const auto s = ctx->cache.stats();
+          artifacts.hits += s.hits;
+          artifacts.misses += s.misses;
+          artifacts.store_hits += s.store_hits;
+        }
+      }
+      std::string out = "{\"ok\":true";
+      out += ",\"requests\":" + std::to_string( d.requests );
+      out += ",\"errors\":" + std::to_string( d.errors );
+      out += ",\"synthesized\":" + std::to_string( d.synthesized );
+      out += ",\"result_hits\":" + std::to_string( d.result_hits );
+      out += ",\"designs\":" + std::to_string( num_designs );
+      out += ",\"artifact_hits\":" + std::to_string( artifacts.hits );
+      out += ",\"artifact_store_hits\":" + std::to_string( artifacts.store_hits );
+      out += ",\"artifact_misses\":" + std::to_string( artifacts.misses );
+      if ( store_ )
+      {
+        const auto s = store_->stats();
+        out += ",\"store_hits\":" + std::to_string( s.hits );
+        out += ",\"store_misses\":" + std::to_string( s.misses );
+        out += ",\"store_writes\":" + std::to_string( s.writes );
+        out += ",\"store_corrupt\":" + std::to_string( s.corrupt_entries );
+      }
+      out += "}";
+      return out;
+    }
+    if ( cmd == "synthesize" )
+    {
+      return handle_synthesize( fields );
+    }
+    throw std::runtime_error( cmd.empty() ? "missing 'cmd' field" : "unknown cmd '" + cmd + "'" );
+  }
+  catch ( const std::exception& e )
+  {
+    std::lock_guard<std::mutex> lock( mutex_ );
+    ++stats_.errors;
+    return error_response( e.what() );
+  }
+}
+
+bool synthesis_daemon::shutdown_requested() const
+{
+  return shutdown_requested_.load();
+}
+
+daemon_stats synthesis_daemon::stats() const
+{
+  std::lock_guard<std::mutex> lock( mutex_ );
+  return stats_;
+}
+
+// --- socket transport --------------------------------------------------------
+
+void synthesis_daemon::start()
+{
+  if ( options_.socket_path.empty() )
+  {
+    throw std::runtime_error( "daemon: no socket path configured" );
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if ( options_.socket_path.size() >= sizeof( addr.sun_path ) )
+  {
+    throw std::runtime_error( "daemon: socket path too long" );
+  }
+  std::strncpy( addr.sun_path, options_.socket_path.c_str(), sizeof( addr.sun_path ) - 1 );
+
+  listen_fd_ = ::socket( AF_UNIX, SOCK_STREAM, 0 );
+  if ( listen_fd_ < 0 )
+  {
+    throw std::runtime_error( "daemon: socket() failed" );
+  }
+  ::unlink( options_.socket_path.c_str() ); // stale socket from a dead daemon
+  if ( ::bind( listen_fd_, reinterpret_cast<const sockaddr*>( &addr ), sizeof( addr ) ) != 0 ||
+       ::listen( listen_fd_, 16 ) != 0 )
+  {
+    ::close( listen_fd_ );
+    listen_fd_ = -1;
+    throw std::runtime_error( "daemon: cannot listen on '" + options_.socket_path + "'" );
+  }
+  accept_thread_ = std::thread( &synthesis_daemon::accept_loop, this );
+}
+
+void synthesis_daemon::accept_loop()
+{
+  while ( !stopping_.load() )
+  {
+    const int fd = ::accept( listen_fd_, nullptr, nullptr );
+    if ( fd < 0 )
+    {
+      if ( stopping_.load() || errno != EINTR )
+      {
+        break;
+      }
+      continue;
+    }
+    std::lock_guard<std::mutex> lock( mutex_ );
+    connection_threads_.emplace_back( &synthesis_daemon::handle_connection, this, fd );
+  }
+}
+
+void synthesis_daemon::handle_connection( int fd )
+{
+  std::string buffer;
+  char chunk[4096];
+  while ( true )
+  {
+    const auto n = ::recv( fd, chunk, sizeof chunk, 0 );
+    if ( n <= 0 )
+    {
+      break;
+    }
+    buffer.append( chunk, static_cast<std::size_t>( n ) );
+    std::size_t pos;
+    while ( ( pos = buffer.find( '\n' ) ) != std::string::npos )
+    {
+      const auto line = buffer.substr( 0, pos );
+      buffer.erase( 0, pos + 1 );
+      if ( line.empty() )
+      {
+        continue;
+      }
+      const auto response = handle_request( line ) + "\n";
+      std::size_t sent = 0;
+      while ( sent < response.size() )
+      {
+        const auto m = ::send( fd, response.data() + sent, response.size() - sent, 0 );
+        if ( m <= 0 )
+        {
+          ::close( fd );
+          return;
+        }
+        sent += static_cast<std::size_t>( m );
+      }
+    }
+  }
+  ::close( fd );
+}
+
+void synthesis_daemon::stop()
+{
+  std::lock_guard<std::mutex> stop_lock( stop_mutex_ );
+  stopping_.store( true );
+  if ( listen_fd_ >= 0 )
+  {
+    ::shutdown( listen_fd_, SHUT_RDWR );
+  }
+  if ( accept_thread_.joinable() )
+  {
+    accept_thread_.join();
+  }
+  if ( listen_fd_ >= 0 )
+  {
+    ::close( listen_fd_ );
+    listen_fd_ = -1;
+    ::unlink( options_.socket_path.c_str() );
+  }
+  std::vector<std::thread> connections;
+  {
+    std::lock_guard<std::mutex> lock( mutex_ );
+    connections.swap( connection_threads_ );
+  }
+  for ( auto& t : connections )
+  {
+    t.join();
+  }
+}
+
+} // namespace qsyn::store

@@ -1,0 +1,123 @@
+/// \file daemon.hpp
+/// \brief Long-lived synthesis daemon over a unix-domain socket.
+///
+/// `synthesis_daemon` keeps the expensive state of the synthesis pipeline
+/// alive between queries: one shared persistent `artifact_store` (disk
+/// tier), a per-design `flow_artifact_cache` (stage artifacts + the
+/// persistent incremental SAT engine, so repeat verifications of one
+/// design share the miter encoding and learned lemmas), and a full-result
+/// cache (`payload_kind::flow_outcome`, in memory and on disk) so a repeat
+/// synthesis query is answered without recomputing anything.
+///
+/// Wire protocol: line-delimited JSON over `AF_UNIX`/`SOCK_STREAM` — one
+/// flat JSON object per request line, one per response line.  Requests:
+///
+///   {"cmd":"ping"}
+///   {"cmd":"stats"}
+///   {"cmd":"shutdown"}
+///   {"cmd":"synthesize","design":"intdiv","bitwidth":6,"flow":"esop",
+///    "rounds":2,"esop_p":1,"exorcism":1,"cleanup":"keep_garbage",
+///    "cut_size":4,"verify":"sampled","deadline":0}
+///
+/// Every response carries `"ok":true|false`; a synthesize response adds
+/// the cost report, the flow/verification status, `"from_cache"` (served
+/// from the result cache), and `"seconds"` (server-side handling time).
+/// Malformed requests get `"ok":false` + `"error"` — the daemon never
+/// dies on bad input.  Connections are handled one thread each; all
+/// shared state is internally synchronized, so concurrent queries (same
+/// or different designs) are safe.
+
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "../core/flows.hpp"
+#include "artifact_store.hpp"
+
+namespace qsyn::store
+{
+
+struct daemon_options
+{
+  std::string socket_path;  ///< unix-domain socket to listen on
+  std::string store_root;   ///< artifact store root; empty = no disk tier
+};
+
+/// Request counters (monotone over the daemon's lifetime).
+struct daemon_stats
+{
+  std::size_t requests = 0;     ///< total request lines handled
+  std::size_t errors = 0;       ///< malformed / failed requests
+  std::size_t synthesized = 0;  ///< synthesize queries that ran the flow
+  std::size_t result_hits = 0;  ///< synthesize queries served from the
+                                ///< result cache (memory or disk)
+};
+
+class synthesis_daemon
+{
+public:
+  explicit synthesis_daemon( daemon_options options );
+  ~synthesis_daemon();
+  synthesis_daemon( const synthesis_daemon& ) = delete;
+  synthesis_daemon& operator=( const synthesis_daemon& ) = delete;
+
+  /// Handles one request line and returns the response line (without the
+  /// trailing newline).  This is the daemon's whole brain — the socket
+  /// loop is a thin transport around it — and it is exposed so tests can
+  /// drive the daemon without a socket.  Thread-safe.
+  std::string handle_request( const std::string& line );
+
+  /// Binds the socket and starts accepting connections on a background
+  /// thread; returns once the socket is listening.  Throws
+  /// std::runtime_error when the socket cannot be bound.
+  void start();
+
+  /// Stops accepting, wakes the accept loop, and joins every connection
+  /// thread.  Idempotent; also run by the destructor.
+  void stop();
+
+  /// True once a `shutdown` request was received (the CLI uses this to
+  /// exit its serve loop).
+  [[nodiscard]] bool shutdown_requested() const;
+
+  [[nodiscard]] daemon_stats stats() const;
+  [[nodiscard]] std::shared_ptr<artifact_store> store() const { return store_; }
+
+private:
+  struct design_context;
+
+  design_context& context_for( const std::string& design, unsigned bitwidth );
+  std::string handle_synthesize( const std::map<std::string, std::string>& fields );
+  void accept_loop();
+  void handle_connection( int fd );
+
+  daemon_options options_;
+  std::shared_ptr<artifact_store> store_; ///< nullptr when store_root is empty
+
+  mutable std::mutex mutex_; ///< guards designs_, stats_, threads_
+  std::map<std::string, std::unique_ptr<design_context>> designs_;
+  daemon_stats stats_;
+
+  std::atomic<bool> stopping_{ false };
+  std::atomic<bool> shutdown_requested_{ false };
+  int listen_fd_ = -1;
+  std::mutex stop_mutex_; ///< makes stop() idempotent without holding mutex_
+  std::thread accept_thread_;
+  std::vector<std::thread> connection_threads_;
+};
+
+/// Parses one flat JSON object (string / number / bool / null values —
+/// no nesting) into key → value text, with string escapes decoded.
+/// Throws std::runtime_error on malformed input.
+std::map<std::string, std::string> parse_flat_json( const std::string& line );
+
+/// JSON string escaping for response assembly (and the client CLI).
+std::string json_escape( const std::string& s );
+
+} // namespace qsyn::store

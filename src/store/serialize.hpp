@@ -1,0 +1,133 @@
+/// \file serialize.hpp
+/// \brief Stable binary (de)serialization of the flow artifacts.
+///
+/// Every payload the persistent artifact store (`artifact_store`) holds —
+/// optimized AIGs, minimized ESOP cube lists, resynthesized XMGs,
+/// synthesized reversible circuits, and verification verdicts — round-trips
+/// through these functions.  The format is versioned at the store-entry
+/// level (see artifact_store.hpp); within a version the byte layout is
+/// fixed: explicit little-endian fixed-width integers, length-prefixed
+/// strings, no padding, no host-endianness or `size_t`-width dependence.
+///
+/// Readers are corruption-tolerant by construction: every read is
+/// bounds-checked against the buffer and every structural invariant
+/// (fanins reference earlier nodes, line indices inside the circuit, …)
+/// is validated, throwing `deserialize_error` — which the store layer
+/// converts into a cache miss, never a crash.
+
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "../logic/aig.hpp"
+#include "../logic/cube.hpp"
+#include "../logic/xmg.hpp"
+#include "../reversible/circuit.hpp"
+#include "../reversible/cost.hpp"
+
+namespace qsyn::store
+{
+
+/// Thrown by the readers on any malformed payload (truncation, wild
+/// indices, impossible counts).  The artifact store treats it as a miss.
+class deserialize_error : public std::runtime_error
+{
+public:
+  explicit deserialize_error( const std::string& what_arg )
+      : std::runtime_error( what_arg )
+  {
+  }
+};
+
+/// Append-only little-endian byte sink.
+class byte_writer
+{
+public:
+  void u8( std::uint8_t v ) { bytes_.push_back( v ); }
+  void u32( std::uint32_t v )
+  {
+    for ( int i = 0; i < 4; ++i )
+    {
+      bytes_.push_back( static_cast<std::uint8_t>( v >> ( 8 * i ) ) );
+    }
+  }
+  void u64( std::uint64_t v )
+  {
+    for ( int i = 0; i < 8; ++i )
+    {
+      bytes_.push_back( static_cast<std::uint8_t>( v >> ( 8 * i ) ) );
+    }
+  }
+  void f64( double v );
+  void str( const std::string& s )
+  {
+    u32( static_cast<std::uint32_t>( s.size() ) );
+    bytes_.insert( bytes_.end(), s.begin(), s.end() );
+  }
+
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move( bytes_ ); }
+
+private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Bounds-checked little-endian byte source over a borrowed buffer.
+class byte_reader
+{
+public:
+  byte_reader( const std::uint8_t* data, std::size_t size ) : data_( data ), size_( size ) {}
+  explicit byte_reader( const std::vector<std::uint8_t>& bytes )
+      : byte_reader( bytes.data(), bytes.size() )
+  {
+  }
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  double f64();
+  std::string str();
+
+  [[nodiscard]] std::size_t remaining() const { return size_ - pos_; }
+  [[nodiscard]] bool exhausted() const { return pos_ == size_; }
+  /// Throws unless the whole buffer was consumed (trailing garbage is
+  /// treated as corruption, not silently ignored).
+  void expect_end() const;
+
+private:
+  void need( std::size_t n ) const;
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+/// --- typed payloads ---------------------------------------------------------
+
+void write_aig( byte_writer& w, const aig_network& aig );
+aig_network read_aig( byte_reader& r );
+
+void write_esop( byte_writer& w, const esop& expression );
+esop read_esop( byte_reader& r );
+
+void write_xmg( byte_writer& w, const xmg_network& graph );
+xmg_network read_xmg( byte_reader& r );
+
+void write_circuit( byte_writer& w, const reversible_circuit& circuit );
+reversible_circuit read_circuit( byte_reader& r );
+
+/// Convenience one-shot wrappers (round-trip helpers for tests and the
+/// store's typed accessors).
+std::vector<std::uint8_t> serialize_aig( const aig_network& aig );
+aig_network deserialize_aig( const std::vector<std::uint8_t>& bytes );
+std::vector<std::uint8_t> serialize_esop( const esop& expression );
+esop deserialize_esop( const std::vector<std::uint8_t>& bytes );
+std::vector<std::uint8_t> serialize_xmg( const xmg_network& graph );
+xmg_network deserialize_xmg( const std::vector<std::uint8_t>& bytes );
+std::vector<std::uint8_t> serialize_circuit( const reversible_circuit& circuit );
+reversible_circuit deserialize_circuit( const std::vector<std::uint8_t>& bytes );
+
+} // namespace qsyn::store

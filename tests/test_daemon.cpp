@@ -1,0 +1,270 @@
+/// Synthesis daemon: protocol parsing, request handling, result caching
+/// (memory + store), and the socket transport.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "store/daemon.hpp"
+
+using namespace qsyn;
+using store::parse_flat_json;
+using store::synthesis_daemon;
+
+namespace
+{
+
+struct temp_dir
+{
+  std::string path;
+  temp_dir()
+  {
+    char pattern[] = "/tmp/qsyn-daemon-test-XXXXXX";
+    path = ::mkdtemp( pattern );
+  }
+  ~temp_dir()
+  {
+    std::error_code ec;
+    std::filesystem::remove_all( path, ec );
+  }
+};
+
+bool contains( const std::string& haystack, const std::string& needle )
+{
+  return haystack.find( needle ) != std::string::npos;
+}
+
+/// One-shot client: connect, send `line`, read one response line.
+std::string roundtrip( const std::string& socket_path, const std::string& line )
+{
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy( addr.sun_path, socket_path.c_str(), sizeof( addr.sun_path ) - 1 );
+  const int fd = ::socket( AF_UNIX, SOCK_STREAM, 0 );
+  EXPECT_GE( fd, 0 );
+  EXPECT_EQ( ::connect( fd, reinterpret_cast<const sockaddr*>( &addr ), sizeof( addr ) ), 0 );
+  const auto request = line + "\n";
+  EXPECT_EQ( ::send( fd, request.data(), request.size(), 0 ),
+             static_cast<ssize_t>( request.size() ) );
+  std::string response;
+  char chunk[4096];
+  while ( response.find( '\n' ) == std::string::npos )
+  {
+    const auto n = ::recv( fd, chunk, sizeof chunk, 0 );
+    if ( n <= 0 )
+    {
+      break;
+    }
+    response.append( chunk, static_cast<std::size_t>( n ) );
+  }
+  ::close( fd );
+  const auto eol = response.find( '\n' );
+  return eol == std::string::npos ? response : response.substr( 0, eol );
+}
+
+} // namespace
+
+// --- flat JSON ---------------------------------------------------------------
+
+TEST( daemon_json, parses_flat_objects )
+{
+  const auto fields = parse_flat_json(
+      R"({"cmd":"synthesize","design":"intdiv","bitwidth":6,"deadline":1.5,"fast":true})" );
+  EXPECT_EQ( fields.at( "cmd" ), "synthesize" );
+  EXPECT_EQ( fields.at( "design" ), "intdiv" );
+  EXPECT_EQ( fields.at( "bitwidth" ), "6" );
+  EXPECT_EQ( fields.at( "deadline" ), "1.5" );
+  EXPECT_EQ( fields.at( "fast" ), "true" );
+  EXPECT_TRUE( parse_flat_json( "{}" ).empty() );
+  EXPECT_TRUE( parse_flat_json( "  { }  " ).empty() );
+}
+
+TEST( daemon_json, decodes_string_escapes )
+{
+  const auto fields =
+      parse_flat_json( R"({"a":"line\nbreak","b":"quote\"slash\\","c":"Aé"})" );
+  EXPECT_EQ( fields.at( "a" ), "line\nbreak" );
+  EXPECT_EQ( fields.at( "b" ), "quote\"slash\\" );
+  EXPECT_EQ( fields.at( "c" ), "A\xc3\xa9" );
+}
+
+TEST( daemon_json, rejects_malformed_input )
+{
+  for ( const auto* bad : { "", "null", "[1,2]", "{", R"({"a")", R"({"a":})", R"({"a":1)",
+                            R"({"a":{"nested":1}})", R"({"a":"unterminated)",
+                            R"({"a":1 "b":2})" } )
+  {
+    EXPECT_THROW( parse_flat_json( bad ), std::runtime_error ) << bad;
+  }
+}
+
+// --- request handling (no socket) --------------------------------------------
+
+TEST( daemon, ping_stats_and_errors )
+{
+  synthesis_daemon daemon( {} );
+  EXPECT_EQ( daemon.handle_request( R"({"cmd":"ping"})" ), R"({"ok":true,"pong":true})" );
+
+  // Malformed requests answer with an error instead of killing anything.
+  EXPECT_TRUE( contains( daemon.handle_request( "garbage" ), "\"ok\":false" ) );
+  EXPECT_TRUE( contains( daemon.handle_request( R"({"cmd":"no-such"})" ), "\"ok\":false" ) );
+  EXPECT_TRUE( contains( daemon.handle_request( R"({"design":"intdiv"})" ), "missing 'cmd'" ) );
+  EXPECT_TRUE( contains(
+      daemon.handle_request( R"({"cmd":"synthesize","design":"intdiv"})" ), "bitwidth" ) );
+  EXPECT_TRUE( contains(
+      daemon.handle_request(
+          R"({"cmd":"synthesize","design":"pentium","bitwidth":4})" ),
+      "unknown design" ) );
+
+  const auto stats = daemon.handle_request( R"({"cmd":"stats"})" );
+  EXPECT_TRUE( contains( stats, "\"ok\":true" ) );
+  EXPECT_TRUE( contains( stats, "\"errors\":5" ) );
+}
+
+TEST( daemon, repeat_query_is_served_from_the_result_cache )
+{
+  synthesis_daemon daemon( {} );
+  const auto request =
+      R"({"cmd":"synthesize","design":"intdiv","bitwidth":4,"flow":"esop","esop_p":1,"verify":"sampled"})";
+  const auto first = daemon.handle_request( request );
+  ASSERT_TRUE( contains( first, "\"ok\":true" ) ) << first;
+  EXPECT_TRUE( contains( first, "\"from_cache\":false" ) );
+  EXPECT_TRUE( contains( first, "\"verified\":true" ) );
+
+  const auto second = daemon.handle_request( request );
+  ASSERT_TRUE( contains( second, "\"ok\":true" ) );
+  EXPECT_TRUE( contains( second, "\"from_cache\":true" ) );
+
+  // The cached response carries the same result payload.
+  const auto strip_timing = []( const std::string& s ) {
+    return s.substr( 0, s.find( ",\"runtime_seconds\"" ) );
+  };
+  EXPECT_EQ( strip_timing( first ).replace( strip_timing( first ).find( "\"from_cache\":false" ),
+                                            std::strlen( "\"from_cache\":false" ),
+                                            "\"from_cache\":true" ),
+             strip_timing( second ) );
+
+  // A different parameterization is its own cache entry.
+  const auto other = daemon.handle_request(
+      R"({"cmd":"synthesize","design":"intdiv","bitwidth":4,"flow":"hierarchical","cleanup":"bennett"})" );
+  EXPECT_TRUE( contains( other, "\"from_cache\":false" ) );
+
+  const auto stats = daemon.stats();
+  EXPECT_EQ( stats.synthesized, 2u );
+  EXPECT_EQ( stats.result_hits, 1u );
+}
+
+TEST( daemon, store_backed_daemon_answers_repeat_query_across_instances )
+{
+  temp_dir dir;
+  const auto root = dir.path + "/store";
+  const auto request =
+      R"({"cmd":"synthesize","design":"intdiv","bitwidth":4,"flow":"esop","esop_p":2,"verify":"sat"})";
+
+  std::string first;
+  {
+    synthesis_daemon daemon( { "", root } );
+    first = daemon.handle_request( request );
+    ASSERT_TRUE( contains( first, "\"from_cache\":false" ) ) << first;
+    EXPECT_TRUE( contains( first, "\"verified\":true" ) );
+    EXPECT_TRUE( contains( first, "\"verified_with\":\"sat\"" ) );
+  }
+
+  // A brand-new daemon on the same store — the "restarted" server —
+  // serves the query from disk without synthesizing or re-verifying.
+  synthesis_daemon reborn( { "", root } );
+  const auto second = reborn.handle_request( request );
+  ASSERT_TRUE( contains( second, "\"ok\":true" ) ) << second;
+  EXPECT_TRUE( contains( second, "\"from_cache\":true" ) );
+  EXPECT_TRUE( contains( second, "\"verified\":true" ) );
+  EXPECT_TRUE( contains( second, "\"verified_with\":\"sat\"" ) );
+  EXPECT_EQ( reborn.stats().synthesized, 0u );
+  EXPECT_EQ( reborn.stats().result_hits, 1u );
+
+  // Same costs, verbatim.
+  const auto payload_of = []( const std::string& s ) {
+    const auto from = s.find( "\"qubits\"" );
+    const auto to = s.find( ",\"runtime_seconds\"" );
+    return s.substr( from, to - from );
+  };
+  EXPECT_EQ( payload_of( first ), payload_of( second ) );
+}
+
+TEST( daemon, concurrent_queries_are_safe )
+{
+  synthesis_daemon daemon( {} );
+  constexpr unsigned num_threads = 6;
+  std::vector<std::string> responses( num_threads );
+  std::vector<std::thread> threads;
+  for ( unsigned t = 0; t < num_threads; ++t )
+  {
+    threads.emplace_back( [&daemon, &responses, t] {
+      // Half hit the same key, half sweep distinct parameterizations.
+      const auto p = std::to_string( t % 2u );
+      responses[t] = daemon.handle_request(
+          R"({"cmd":"synthesize","design":"intdiv","bitwidth":4,"flow":"esop","esop_p":)" + p +
+          "}" );
+    } );
+  }
+  for ( auto& t : threads )
+  {
+    t.join();
+  }
+  for ( const auto& r : responses )
+  {
+    EXPECT_TRUE( contains( r, "\"ok\":true" ) ) << r;
+    EXPECT_TRUE( contains( r, "\"status\":\"ok\"" ) ) << r;
+  }
+}
+
+// --- socket transport --------------------------------------------------------
+
+TEST( daemon, serves_line_delimited_json_over_unix_socket )
+{
+  temp_dir dir;
+  store::daemon_options options;
+  options.socket_path = dir.path + "/d.sock";
+  synthesis_daemon daemon( options );
+  daemon.start();
+
+  EXPECT_EQ( roundtrip( options.socket_path, R"({"cmd":"ping"})" ),
+             R"({"ok":true,"pong":true})" );
+
+  const auto response = roundtrip(
+      options.socket_path,
+      R"({"cmd":"synthesize","design":"intdiv","bitwidth":4,"flow":"hierarchical"})" );
+  EXPECT_TRUE( contains( response, "\"ok\":true" ) ) << response;
+  EXPECT_TRUE( contains( response, "\"qubits\"" ) );
+
+  // Parallel clients.
+  std::vector<std::thread> clients;
+  std::vector<std::string> responses( 4 );
+  for ( unsigned c = 0; c < 4; ++c )
+  {
+    clients.emplace_back( [&options, &responses, c] {
+      responses[c] = roundtrip( options.socket_path, R"({"cmd":"ping"})" );
+    } );
+  }
+  for ( auto& c : clients )
+  {
+    c.join();
+  }
+  for ( const auto& r : responses )
+  {
+    EXPECT_EQ( r, R"({"ok":true,"pong":true})" );
+  }
+
+  EXPECT_TRUE(
+      contains( roundtrip( options.socket_path, R"({"cmd":"shutdown"})" ), "stopping" ) );
+  EXPECT_TRUE( daemon.shutdown_requested() );
+  daemon.stop();
+  EXPECT_FALSE( std::filesystem::exists( options.socket_path ) );
+}

@@ -362,3 +362,33 @@ TEST( flows, cut_size_below_two_is_rejected )
   params.cut_size = 1;
   EXPECT_THROW( run_flow_on_aig( mod.aig, params ), std::invalid_argument );
 }
+
+TEST( flows, cache_rejects_same_size_different_function_design )
+{
+  // Regression for the size-only design fingerprint: `a AND b` and
+  // `a AND NOT b` have identical (pis, pos, ands) shapes but different
+  // functions.  The old fingerprint silently served the first design's
+  // artifacts for the second; the content hash must reject the alias.
+  aig_network and_ab( 2 );
+  and_ab.add_po( and_ab.create_and( and_ab.pi( 0 ), and_ab.pi( 1 ) ) );
+  aig_network and_anb( 2 );
+  and_anb.add_po( and_anb.create_and( and_anb.pi( 0 ), lit_not( and_anb.pi( 1 ) ) ) );
+  ASSERT_EQ( and_ab.num_nodes(), and_anb.num_nodes() );
+  ASSERT_NE( and_ab.content_hash(), and_anb.content_hash() );
+
+  flow_params params;
+  params.kind = flow_kind::esop_based;
+  flow_artifact_cache cache;
+  const auto first = run_flow_staged( and_ab, params, cache );
+  EXPECT_TRUE( first.verified );
+  EXPECT_THROW( run_flow_staged( and_anb, params, cache ), std::invalid_argument );
+
+  // A structurally identical copy is the same design and is accepted.
+  aig_network copy( 2 );
+  copy.add_po( copy.create_and( copy.pi( 0 ), copy.pi( 1 ) ) );
+  const auto again = run_flow_staged( copy, params, cache );
+  EXPECT_TRUE( again.verified );
+  EXPECT_EQ( again.costs.t_count, first.costs.t_count );
+  EXPECT_GT( cache.stats().hits, 0u ); // the copy reused the first run's artifacts
+  EXPECT_EQ( cache.design_hash(), and_ab.content_hash() );
+}

@@ -115,6 +115,24 @@ TEST( scheduler_env, qsyn_threads_overrides_default_num_threads )
   EXPECT_GE( thread_pool::default_num_threads(), 1u );
 }
 
+TEST( scheduler_env, qsyn_threads_clamps_oversized_values )
+{
+  env_guard guard;
+  // 2^32 + 1 used to survive the long parse and wrap to 1 in the
+  // long -> unsigned cast; 2^32 + 20000 wrapped to 20000 workers.  Both
+  // now clamp to the documented ceiling.
+  setenv( "QSYN_THREADS", "4294967297", 1 );
+  EXPECT_EQ( thread_pool::default_num_threads(), thread_pool::max_env_threads );
+  setenv( "QSYN_THREADS", "4294987296", 1 );
+  EXPECT_EQ( thread_pool::default_num_threads(), thread_pool::max_env_threads );
+  // Values beyond LONG_MAX saturate in strtol and clamp the same way.
+  setenv( "QSYN_THREADS", "99999999999999999999999999", 1 );
+  EXPECT_EQ( thread_pool::default_num_threads(), thread_pool::max_env_threads );
+  // The largest accepted value passes through unchanged.
+  setenv( "QSYN_THREADS", std::to_string( thread_pool::max_env_threads ).c_str(), 1 );
+  EXPECT_EQ( thread_pool::default_num_threads(), thread_pool::max_env_threads );
+}
+
 // --- work stealing -----------------------------------------------------------
 
 TEST( scheduler_pool, jobs_spawned_by_a_worker_can_be_stolen )

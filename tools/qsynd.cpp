@@ -1,0 +1,90 @@
+/// \file qsynd.cpp
+/// \brief Synthesis daemon CLI: serve synthesis queries over a unix socket.
+///
+/// Usage:
+///   qsynd --socket /tmp/qsyn.sock [--store .qsyn-store]
+///
+/// The daemon answers line-delimited JSON requests (see store/daemon.hpp
+/// for the protocol) until it receives {"cmd":"shutdown"} or a SIGINT /
+/// SIGTERM.  With --store, stage artifacts and full results persist
+/// across daemon restarts (and are shared with bench/CLI runs pointing at
+/// the same store root).
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "store/daemon.hpp"
+
+namespace
+{
+
+std::atomic<bool> interrupted{ false };
+
+void on_signal( int )
+{
+  interrupted.store( true );
+}
+
+int usage( const char* argv0 )
+{
+  std::fprintf( stderr, "usage: %s --socket PATH [--store DIR]\n", argv0 );
+  return 2;
+}
+
+} // namespace
+
+int main( int argc, char** argv )
+{
+  qsyn::store::daemon_options options;
+  for ( int i = 1; i < argc; ++i )
+  {
+    const std::string arg = argv[i];
+    if ( arg == "--socket" && i + 1 < argc )
+    {
+      options.socket_path = argv[++i];
+    }
+    else if ( arg == "--store" && i + 1 < argc )
+    {
+      options.store_root = argv[++i];
+    }
+    else
+    {
+      return usage( argv[0] );
+    }
+  }
+  if ( options.socket_path.empty() )
+  {
+    return usage( argv[0] );
+  }
+
+  try
+  {
+    qsyn::store::synthesis_daemon daemon( options );
+    daemon.start();
+    std::signal( SIGINT, on_signal );
+    std::signal( SIGTERM, on_signal );
+    std::printf( "qsynd: listening on %s%s%s\n", options.socket_path.c_str(),
+                 options.store_root.empty() ? "" : ", store ",
+                 options.store_root.c_str() );
+    std::fflush( stdout );
+    while ( !daemon.shutdown_requested() && !interrupted.load() )
+    {
+      std::this_thread::sleep_for( std::chrono::milliseconds( 50 ) );
+    }
+    daemon.stop();
+    const auto stats = daemon.stats();
+    std::printf( "qsynd: served %zu requests (%zu synthesized, %zu from cache, %zu errors)\n",
+                 stats.requests, stats.synthesized, stats.result_hits, stats.errors );
+    return 0;
+  }
+  catch ( const std::exception& e )
+  {
+    std::fprintf( stderr, "qsynd: %s\n", e.what() );
+    return 1;
+  }
+}
