@@ -30,6 +30,12 @@
 /// latency ratio plus whether a second daemon instance on the same store
 /// root answers the query from disk without synthesizing.
 ///
+/// Schema v5 extends the `daemon` section with a concurrent-clients case:
+/// N identical queries fired at a fresh daemon (empty caches) must
+/// coalesce into exactly one synthesis and every client must receive the
+/// same payload (`coalesced_ok`), now that requests run on the daemon's
+/// shared task-graph pool instead of their connection threads.
+///
 /// Usage: bench_dse [--out FILE] [--quick] [--max N] [--threads N]
 ///                  [--sweep-threads N] [--no-verify]
 ///                  [--verify-mode sampled|exhaustive|sat]
@@ -58,6 +64,7 @@
 #include <filesystem>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/thread_pool.hpp"
@@ -349,6 +356,12 @@ struct daemon_result
   double repeat_s = 0.0;
   bool repeat_from_cache = false;
   bool restart_from_cache = false;
+  /// Concurrent-clients case: N identical in-flight queries against a
+  /// fresh daemon must coalesce into exactly one synthesis.
+  std::size_t concurrent_clients = 0;
+  std::size_t concurrent_synthesized = 0;
+  double concurrent_wall_s = 0.0;
+  bool coalesced_ok = false;
   bool ok = false;
 };
 
@@ -383,17 +396,79 @@ daemon_result run_daemon_repeat()
 
   r.repeat_from_cache = from_cache( repeat );
   r.restart_from_cache = from_cache( restarted ) && reborn.stats().synthesized == 0;
+
+  // Concurrent-clients case: N identical queries fired at a fresh daemon
+  // (empty store, empty memory cache) must coalesce into exactly one
+  // synthesis, and every client must receive the same answer.  Strip the
+  // volatile fields so bit-identity covers the circuit payload and costs.
+  const auto payload_of = []( std::string response ) {
+    for ( const char* field :
+          { "\"from_cache\":", "\"runtime_seconds\":", "\"seconds\":" } )
+    {
+      const auto pos = response.find( field );
+      if ( pos == std::string::npos )
+      {
+        continue;
+      }
+      auto end = response.find( ',', pos );
+      if ( end == std::string::npos )
+      {
+        end = response.size();
+      }
+      else
+      {
+        ++end; // also remove the comma
+      }
+      response.erase( pos, end - pos );
+    }
+    return response;
+  };
+  {
+    char concurrent_template[] = "/tmp/qsyn-bench-daemon-XXXXXX";
+    const std::string concurrent_root = ::mkdtemp( concurrent_template );
+    store::synthesis_daemon fresh( { "", concurrent_root } );
+    constexpr std::size_t num_clients = 8;
+    std::vector<std::string> responses( num_clients );
+    std::vector<std::thread> clients;
+    clients.reserve( num_clients );
+    stopwatch watch;
+    for ( std::size_t i = 0; i < num_clients; ++i )
+    {
+      clients.emplace_back( [&fresh, &request, &responses, i] {
+        responses[i] = fresh.handle_request( request );
+      } );
+    }
+    for ( auto& client : clients )
+    {
+      client.join();
+    }
+    r.concurrent_wall_s = watch.elapsed_seconds();
+    r.concurrent_clients = num_clients;
+    r.concurrent_synthesized = fresh.stats().synthesized;
+    bool all_agree = true;
+    for ( const auto& response : responses )
+    {
+      all_agree = all_agree && answered_ok( response ) &&
+                  payload_of( response ) == payload_of( responses[0] );
+    }
+    r.coalesced_ok = all_agree && r.concurrent_synthesized == 1;
+    std::error_code concurrent_ec;
+    std::filesystem::remove_all( concurrent_root, concurrent_ec );
+  }
+
   r.ok = answered_ok( first ) && answered_ok( repeat ) && answered_ok( restarted ) &&
-         r.repeat_from_cache && r.restart_from_cache;
+         r.repeat_from_cache && r.restart_from_cache && r.coalesced_ok;
 
   std::error_code ec;
   std::filesystem::remove_all( root, ec );
 
   std::printf( "daemon: first %8.6f s | repeat %8.6f s (%.0fx, from_cache=%s) | "
-               "restarted instance from_cache=%s\n",
+               "restarted instance from_cache=%s | %zu concurrent clients -> "
+               "%zu synthesis (%s)\n",
                r.first_s, r.repeat_s, r.first_s / ( r.repeat_s > 0 ? r.repeat_s : 1e-9 ),
                r.repeat_from_cache ? "true" : "false",
-               r.restart_from_cache ? "true" : "false" );
+               r.restart_from_cache ? "true" : "false", r.concurrent_clients,
+               r.concurrent_synthesized, r.coalesced_ok ? "coalesced" : "NOT COALESCED" );
   return r;
 }
 
@@ -422,7 +497,7 @@ void write_json( const char* path, const std::vector<case_result>& cases,
     std::fprintf( stderr, "cannot open %s for writing\n", path );
     std::exit( 1 );
   }
-  std::fprintf( f, "{\n  \"bench\": \"dse\",\n  \"schema_version\": 4,\n" );
+  std::fprintf( f, "{\n  \"bench\": \"dse\",\n  \"schema_version\": 5,\n" );
   std::fprintf( f, "  \"verify\": %s,\n", verify ? "true" : "false" );
   std::fprintf( f, "  \"verify_mode\": \"%s\",\n",
                 verify_mode_name( mode ).c_str() );
@@ -472,8 +547,13 @@ void write_json( const char* path, const std::vector<case_result>& cases,
                 daemon.first_s / ( daemon.repeat_s > 0 ? daemon.repeat_s : 1e-9 ) );
   std::fprintf( f, "    \"repeat_from_cache\": %s,\n",
                 daemon.repeat_from_cache ? "true" : "false" );
-  std::fprintf( f, "    \"restart_from_cache\": %s\n",
+  std::fprintf( f, "    \"restart_from_cache\": %s,\n",
                 daemon.restart_from_cache ? "true" : "false" );
+  std::fprintf( f, "    \"concurrent_clients\": %zu,\n", daemon.concurrent_clients );
+  std::fprintf( f, "    \"concurrent_synthesized\": %zu,\n",
+                daemon.concurrent_synthesized );
+  std::fprintf( f, "    \"concurrent_wall_s\": %.6f,\n", daemon.concurrent_wall_s );
+  std::fprintf( f, "    \"coalesced_ok\": %s\n", daemon.coalesced_ok ? "true" : "false" );
   std::fprintf( f, "  },\n" );
   std::fprintf( f, "  \"cases\": [\n" );
   for ( std::size_t i = 0; i < cases.size(); ++i )

@@ -19,7 +19,9 @@
 #     (it must be all store hits, zero misses) or its costs diverge from the
 #     cold pass, or the daemon's repeat query is not answered from cache at
 #     least 10x faster than the first synthesis, or a restarted daemon
-#     instance on the same store root fails to answer from disk,
+#     instance on the same store root fails to answer from disk, or N
+#     identical in-flight daemon queries fail to coalesce into exactly one
+#     synthesis with bit-identical answers (coalesced_ok, schema v5),
 #   * the verification tiers diverge (scalar vs block vs SAT accept/reject),
 #     a corrupted circuit slips through, or the block-vs-scalar speedup
 #     drops more than 10% against the committed baseline,
@@ -33,7 +35,8 @@
 # AddressSanitizer (QSYN_SANITIZE=address) — the block engine is all raw
 # word indexing and the store parses untrusted on-disk bytes — the
 # robustness + scheduler + store suites under UndefinedBehaviorSanitizer,
-# and the robustness + scheduler suites under ThreadSanitizer.
+# and the robustness + scheduler + daemon suites under ThreadSanitizer (the
+# daemon now coalesces concurrent requests on a shared pool).
 #
 # Every benchmark invocation runs inside a hard `timeout` ceiling
 # (BENCH_TIMEOUT seconds, default 1200): a hung benchmark is exactly the
@@ -262,6 +265,32 @@ else:
                 daemon.get("speedup", 0.0), DAEMON_SPEEDUP_FLOOR
             )
         )
+    # Cross-request coalescing gate (schema v5): N identical in-flight
+    # queries against a fresh daemon must run exactly one synthesis, and
+    # every client must get the same payload.
+    if "concurrent_clients" not in daemon:
+        failures.append("fresh run has no concurrent-clients daemon case (schema < 5?)")
+    else:
+        print(
+            "daemon: {} concurrent identical clients -> {} synthesis in "
+            "{:.6f} s".format(
+                daemon.get("concurrent_clients", 0),
+                daemon.get("concurrent_synthesized", -1),
+                daemon.get("concurrent_wall_s", 0.0),
+            )
+        )
+        if daemon.get("concurrent_synthesized", -1) != 1:
+            failures.append(
+                "{} identical in-flight daemon queries ran {} syntheses "
+                "(must coalesce into exactly 1)".format(
+                    daemon.get("concurrent_clients", 0),
+                    daemon.get("concurrent_synthesized", -1),
+                )
+            )
+        if not daemon.get("coalesced_ok", False):
+            failures.append(
+                "concurrent daemon clients disagreed on the answer or got errors"
+            )
 
 base_cases = {c["name"]: c for c in baseline["cases"]}
 fresh_cases = {c["name"]: c for c in fresh["cases"]}
@@ -485,11 +514,16 @@ echo "test_robustness + test_scheduler + test_store OK under UndefinedBehaviorSa
 
 TSAN_DIR="$REPO_ROOT/build-tsan-robustness"
 cmake -B "$TSAN_DIR" -S "$REPO_ROOT" -DCMAKE_BUILD_TYPE=Release -DQSYN_SANITIZE=thread
-cmake --build "$TSAN_DIR" -j "$(nproc)" --target test_robustness test_scheduler
+cmake --build "$TSAN_DIR" -j "$(nproc)" --target test_robustness test_scheduler test_daemon
 "$TSAN_DIR/tests/test_robustness"
 # The scheduler suite under TSan runs at the pool widths the ctest fixtures
 # pin: stealing races only exist with >= 2 workers.
 QSYN_THREADS=2 "$TSAN_DIR/tests/test_scheduler"
 "$TSAN_DIR/tests/test_scheduler"
+# The daemon coalesces concurrent identical requests into one synthesis on
+# a shared task-graph pool and upgrades cached results across budget
+# classes: its suite exercises those interleavings with real client
+# threads, so it runs instrumented for data races too.
+"$TSAN_DIR/tests/test_daemon"
 echo
-echo "test_robustness + test_scheduler OK under ThreadSanitizer"
+echo "test_robustness + test_scheduler + test_daemon OK under ThreadSanitizer"

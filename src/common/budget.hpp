@@ -17,6 +17,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -178,6 +179,30 @@ struct budget
   {
     return deadline_seconds <= 0.0 && sat_conflict_budget == 0 && sat_propagation_budget == 0 &&
            exorcism_pair_budget == 0;
+  }
+
+  /// True when this budget is at least as generous as `other` in every
+  /// dimension and strictly more generous in at least one (0 = unlimited
+  /// ranks above any finite value).  The daemon's result cache uses this
+  /// to decide whether a requester's budget justifies recomputing a
+  /// cached `degraded` outcome: only a strictly better-funded request can
+  /// hope for a better verdict.
+  [[nodiscard]] bool more_generous_than( const budget& other ) const noexcept
+  {
+    // Map 0/negative ("unlimited") onto +inf so one comparison rule works.
+    const auto time = []( double s ) { return s <= 0.0 ? 1e18 : s; };
+    const auto count = []( std::uint64_t c ) {
+      return c == 0 ? std::numeric_limits<std::uint64_t>::max() : c;
+    };
+    const bool no_worse = time( deadline_seconds ) >= time( other.deadline_seconds ) &&
+                          count( sat_conflict_budget ) >= count( other.sat_conflict_budget ) &&
+                          count( sat_propagation_budget ) >= count( other.sat_propagation_budget ) &&
+                          count( exorcism_pair_budget ) >= count( other.exorcism_pair_budget );
+    const bool better = time( deadline_seconds ) > time( other.deadline_seconds ) ||
+                        count( sat_conflict_budget ) > count( other.sat_conflict_budget ) ||
+                        count( sat_propagation_budget ) > count( other.sat_propagation_budget ) ||
+                        count( exorcism_pair_budget ) > count( other.exorcism_pair_budget );
+    return no_worse && better;
   }
 };
 

@@ -120,30 +120,11 @@ bool is_budget_error( const std::exception_ptr& error )
   }
 }
 
-/// Maps a tail task's terminal state back onto its point's status record.
-/// A `done` tail wrote its own result; every other outcome becomes
-/// `timed_out` (budget expiry anywhere in the chain) or `failed`, and a
-/// poisoned tail's detail names the failing stage task — artifact key and
-/// stage name — so a shared-stage failure stays attributable per point.
+/// Maps a tail task's terminal state back onto its point's status record
+/// (see `fill_flow_status_from_graph`, shared with the synthesis daemon).
 void fill_point_status( const task_graph& graph, task_id tail, dse_point& point )
 {
-  const auto state = graph.state( tail );
-  if ( state == task_state::done )
-  {
-    return;
-  }
-  const auto error = graph.error( tail );
-  point.result.status =
-      is_budget_error( error ) ? flow_status::timed_out : flow_status::failed;
-  const auto& blame = graph.blame( tail );
-  if ( state == task_state::poisoned && blame != graph.key( tail ) )
-  {
-    point.result.status_detail = "stage '" + blame + "' failed: " + error_what( error );
-  }
-  else
-  {
-    point.result.status_detail = error_what( error );
-  }
+  fill_flow_status_from_graph( graph, tail, point.result );
 }
 
 /// The PR 2 engine (`schedule_mode::tail_only`): stage artifacts are

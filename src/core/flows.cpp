@@ -540,6 +540,71 @@ flow_task_ids add_flow_tasks( task_graph& graph, const aig_network& aig,
   return ids;
 }
 
+namespace
+{
+
+std::string graph_error_what( const std::exception_ptr& error )
+{
+  if ( !error )
+  {
+    return "unknown error";
+  }
+  try
+  {
+    std::rethrow_exception( error );
+  }
+  catch ( const std::exception& e )
+  {
+    return e.what();
+  }
+  catch ( ... )
+  {
+    return "unknown error";
+  }
+}
+
+bool graph_error_is_budget( const std::exception_ptr& error )
+{
+  if ( !error )
+  {
+    return false;
+  }
+  try
+  {
+    std::rethrow_exception( error );
+  }
+  catch ( const budget_exhausted& )
+  {
+    return true;
+  }
+  catch ( ... )
+  {
+    return false;
+  }
+}
+
+} // namespace
+
+void fill_flow_status_from_graph( const task_graph& graph, task_id tail, flow_result& out )
+{
+  const auto state = graph.state( tail );
+  if ( state == task_state::done )
+  {
+    return;
+  }
+  const auto error = graph.error( tail );
+  out.status = graph_error_is_budget( error ) ? flow_status::timed_out : flow_status::failed;
+  const auto& blame = graph.blame( tail );
+  if ( state == task_state::poisoned && blame != graph.key( tail ) )
+  {
+    out.status_detail = "stage '" + blame + "' failed: " + graph_error_what( error );
+  }
+  else
+  {
+    out.status_detail = graph_error_what( error );
+  }
+}
+
 // --- staged flow driver ------------------------------------------------------
 
 flow_result run_flow_staged( const aig_network& aig, const flow_params& params,

@@ -370,6 +370,15 @@ flow_task_ids add_flow_tasks( task_graph& graph, const aig_network& aig,
                               const std::string& key_prefix = {},
                               const std::vector<task_id>& extra_deps = {} );
 
+/// Maps the terminal state of a flow tail task back onto `out`'s status
+/// record after the graph ran.  A `done` tail already wrote its own
+/// result (no-op); a cancelled/failed/poisoned tail becomes `timed_out`
+/// (when the underlying error is `budget_exhausted`) or `failed`, and a
+/// poisoned tail's detail names the failing stage task — artifact key and
+/// stage name — so a shared-stage failure stays attributable per
+/// requester.  Shared by the DSE sweep engines and the synthesis daemon.
+void fill_flow_status_from_graph( const task_graph& graph, task_id tail, flow_result& out );
+
 /// Runs a flow on an already-elaborated AIG, reading shared stage
 /// artifacts from (and adding missing ones to) the given cache.  Cost and
 /// circuit results are bit-identical to the uncached path; only

@@ -63,6 +63,15 @@ struct task_graph::impl
   bool running = false;
   bool ran = false;
   std::size_t terminal = 0;
+  /// Pool wrappers submitted for this graph that have not yet finished
+  /// their final access to this impl.  `run()` waits for this to reach
+  /// zero (in addition to every node being terminal) before returning, so
+  /// a wrapper that lost the race to a poisoning ancestor — submitted,
+  /// then found its task already terminal — can never touch a destroyed
+  /// graph.  This is what makes several graphs safe to run concurrently
+  /// on one shared pool: completion is tracked per graph, not by waiting
+  /// for the whole pool to drain.
+  std::size_t live_wrappers = 0;
   graph_clock::time_point run_start{};
   deadline stop;
   thread_pool* pool = nullptr;
@@ -73,9 +82,11 @@ struct task_graph::impl
     return std::chrono::duration<double>( graph_clock::now() - run_start ).count();
   }
 
-  /// Marks `id` terminal in `state` (mutex held).  Returns true when the
-  /// whole graph just finished.
-  bool finalize_locked( task_id id, task_state state )
+  /// Marks `id` terminal in `state` (mutex held).  Graph completion is
+  /// observed by `run()` through the terminal/live_wrappers counters; the
+  /// wake-up happens at wrapper exit, the single point that is provably
+  /// the last impl access.
+  void finalize_locked( task_id id, task_state state )
   {
     nodes[id].state = state;
     switch ( state )
@@ -97,16 +108,15 @@ struct task_graph::impl
       assert( false && "finalize_locked requires a terminal state" );
       break;
     }
-    return ++terminal == nodes.size();
+    ++terminal;
   }
 
   /// Poisons every not-yet-started transitive dependent of `origin`
   /// (mutex held), propagating the ultimate ancestor's blame/error (so a
   /// poisoned node's own dependents inherit the original key, not the
-  /// intermediate one).  Returns true when the graph just finished.
-  bool poison_dependents_locked( task_id origin )
+  /// intermediate one).
+  void poison_dependents_locked( task_id origin )
   {
-    bool finished = false;
     const auto& blame_key = nodes[origin].blame.empty() ? nodes[origin].key
                                                         : nodes[origin].blame;
     const auto error = nodes[origin].error;
@@ -122,10 +132,9 @@ struct task_graph::impl
       }
       node.blame = blame_key;
       node.error = error;
-      finished = finalize_locked( id, task_state::poisoned ) || finished;
+      finalize_locked( id, task_state::poisoned );
       frontier.insert( frontier.end(), node.dependents.begin(), node.dependents.end() );
     }
-    return finished;
   }
 
   void submit( task_id id );
@@ -144,13 +153,9 @@ struct task_graph::impl
         node.blame = node.key;
         node.error = std::make_exception_ptr( budget_exhausted(
             "task graph deadline expired before task '" + node.key + "' started" ) );
-        bool finished = finalize_locked( id, task_state::cancelled );
-        finished = poison_dependents_locked( id ) || finished;
-        if ( finished )
-        {
-          all_terminal.notify_all();
-        }
-        return;
+        finalize_locked( id, task_state::cancelled );
+        poison_dependents_locked( id );
+        return; // run() is woken by the wrapper's live-count decrement
       }
       node.state = task_state::running;
       node.start_s = since_start();
@@ -167,7 +172,6 @@ struct task_graph::impl
     }
 
     std::vector<task_id> ready;
-    bool finished = false;
     {
       std::unique_lock<std::mutex> lock( mutex );
       auto& node = nodes[id];
@@ -176,12 +180,12 @@ struct task_graph::impl
       {
         node.error = error;
         node.blame = node.key;
-        finished = finalize_locked( id, task_state::failed );
-        finished = poison_dependents_locked( id ) || finished;
+        finalize_locked( id, task_state::failed );
+        poison_dependents_locked( id );
       }
       else
       {
-        finished = finalize_locked( id, task_state::done );
+        finalize_locked( id, task_state::done );
         for ( const auto dep_id : node.dependents )
         {
           auto& dependent = nodes[dep_id];
@@ -191,10 +195,6 @@ struct task_graph::impl
           }
         }
       }
-    }
-    if ( finished )
-    {
-      all_terminal.notify_all();
     }
     // Submitted outside the lock: an inline pool runs the whole dependent
     // cascade right here (recursively, in insertion order — the
@@ -209,7 +209,23 @@ struct task_graph::impl
 
 void task_graph::impl::submit( task_id id )
 {
-  pool->submit( [this, id] { execute( id ); } );
+  {
+    std::unique_lock<std::mutex> lock( mutex );
+    ++live_wrappers;
+  }
+  pool->submit( [this, id] {
+    execute( id );
+    // Last impl access of this wrapper.  The notify happens WITH the mutex
+    // held: run()'s waiter cannot re-check its predicate (and let the
+    // caller destroy the graph) until it reacquires the mutex we hold, so
+    // the condition variable is guaranteed alive through the notify even
+    // when this decrement is the one that completes the run.
+    std::unique_lock<std::mutex> lock( mutex );
+    if ( --live_wrappers == 0 && terminal == nodes.size() )
+    {
+      all_terminal.notify_all();
+    }
+  } );
 }
 
 task_graph::task_graph()
@@ -339,19 +355,18 @@ void task_graph::run( thread_pool& pool, const deadline& stop )
     g.submit( id );
   }
 
-  {
-    std::unique_lock<std::mutex> lock( g.mutex );
-    g.all_terminal.wait( lock, [&g] { return g.terminal == g.nodes.size(); } );
-  }
-  // Every execute() call catches its task's exception itself; anything the
-  // pool still collected is a scheduler bug and worth a loud rethrow.
-  const auto errors = pool.wait_all();
-  if ( !errors.empty() )
-  {
-    std::rethrow_exception( errors.front() );
-  }
-
+  // Wait for this graph alone: every node terminal AND every submitted
+  // wrapper past its last impl access.  Deliberately NOT pool.wait_all() —
+  // that waits for the whole pool to go idle, which (a) couples this run
+  // to every other graph sharing the pool (the daemon runs one graph per
+  // in-flight request on one long-lived pool) and (b) was the only thing
+  // preventing a late-scheduled wrapper of an already-poisoned task from
+  // touching a destroyed graph.  The live_wrappers counter makes that
+  // guarantee local.
   std::unique_lock<std::mutex> lock( g.mutex );
+  g.all_terminal.wait( lock, [&g] {
+    return g.terminal == g.nodes.size() && g.live_wrappers == 0;
+  } );
   g.stats.steals = pool.steals() - steals_before;
   g.stats.wall_seconds = g.since_start();
   // Critical path: edges always point from lower to higher id, so one

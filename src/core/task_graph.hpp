@@ -42,7 +42,13 @@
 /// bound any scheduler could reach, reported by `bench_dse`.
 ///
 /// Thread safety: `add`/`add_shared` are for the single building thread
-/// before `run()`; accessors after `run()` returned.  One graph runs once.
+/// before `run()`; accessors after `run()` returned.  One graph runs once
+/// — but **many graphs may run concurrently on one shared pool**: `run()`
+/// tracks its own submitted wrappers and waits only for this graph's
+/// tasks (never for the pool to go idle), which is how the synthesis
+/// daemon serves every in-flight request from one long-lived pool.  On a
+/// shared pool the `steals` statistic is a pool-wide delta over the run
+/// and can include other graphs' steals.
 
 #pragma once
 
@@ -90,7 +96,9 @@ struct task_graph_stats
   std::size_t tasks_cancelled = 0; ///< skipped: run deadline/cancel expired
   std::size_t coalesced = 0;       ///< duplicate keyed requests folded onto
                                    ///< an existing task (`add_shared`)
-  std::uint64_t steals = 0;        ///< pool steals during this run
+  std::uint64_t steals = 0;        ///< pool steals during this run (pool-wide
+                                   ///< delta: includes other graphs' steals
+                                   ///< when the pool is shared)
   /// Peak number of tasks whose measured [start, end) intervals overlap —
   /// the parallelism that actually materialized.  1 on an inline pool (or
   /// a run whose tasks never overlapped); the dead-parallelism canary

@@ -1,6 +1,8 @@
 #include "daemon.hpp"
 
+#include <algorithm>
 #include <cerrno>
+#include <condition_variable>
 #include <cstdio>
 #include <cstring>
 #include <stdexcept>
@@ -9,8 +11,10 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include "../common/thread_pool.hpp"
 #include "../common/timer.hpp"
 #include "../core/dse.hpp" // dse_label
+#include "../core/task_graph.hpp"
 #include "../verilog/elaborator.hpp"
 #include "serialize.hpp"
 
@@ -179,6 +183,23 @@ std::string parse_json_string( const std::string& s, std::size_t& i )
 
 } // namespace
 
+namespace
+{
+
+/// Only trailing whitespace may follow the object's closing '}' — a
+/// request like `{"cmd":"ping"} {"cmd":"shutdown"}` is one malformed line,
+/// not two commands.
+void reject_trailing_garbage( const std::string& line, std::size_t i )
+{
+  skip_ws( line, i );
+  if ( i != line.size() )
+  {
+    throw std::runtime_error( "json: trailing garbage after object" );
+  }
+}
+
+} // namespace
+
 std::map<std::string, std::string> parse_flat_json( const std::string& line )
 {
   std::map<std::string, std::string> fields;
@@ -192,6 +213,7 @@ std::map<std::string, std::string> parse_flat_json( const std::string& line )
   skip_ws( line, i );
   if ( i < line.size() && line[i] == '}' )
   {
+    reject_trailing_garbage( line, i + 1 );
     return fields;
   }
   while ( true )
@@ -247,6 +269,7 @@ std::map<std::string, std::string> parse_flat_json( const std::string& line )
     }
     if ( line[i] == '}' )
     {
+      reject_trailing_garbage( line, i + 1 );
       return fields;
     }
     throw std::runtime_error( "json: expected ',' or '}'" );
@@ -280,6 +303,23 @@ unsigned uint_field( const std::map<std::string, std::string>& fields, const std
     throw std::runtime_error( "field '" + key + "' is not an unsigned integer" );
   }
   return static_cast<unsigned>( value );
+}
+
+std::uint64_t u64_field( const std::map<std::string, std::string>& fields, const std::string& key,
+                         std::uint64_t fallback )
+{
+  const auto it = fields.find( key );
+  if ( it == fields.end() )
+  {
+    return fallback;
+  }
+  std::size_t pos = 0;
+  const auto value = std::stoull( it->second, &pos );
+  if ( pos != it->second.size() )
+  {
+    throw std::runtime_error( "field '" + key + "' is not an unsigned integer" );
+  }
+  return value;
 }
 
 double double_field( const std::map<std::string, std::string>& fields, const std::string& key,
@@ -356,6 +396,9 @@ flow_params params_from_fields( const std::map<std::string, std::string>& fields
   params.verification = *mode;
   params.verify = *mode != verify_mode::none;
   params.limits.deadline_seconds = double_field( fields, "deadline", 0.0 );
+  params.limits.sat_conflict_budget = u64_field( fields, "sat_conflicts", 0u );
+  params.limits.sat_propagation_budget = u64_field( fields, "sat_propagations", 0u );
+  params.limits.exorcism_pair_budget = u64_field( fields, "exorcism_pairs", 0u );
   return params;
 }
 
@@ -382,7 +425,13 @@ std::string outcome_key( const flow_params& params )
   return key;
 }
 
-std::vector<std::uint8_t> encode_outcome( const flow_result& result )
+/// Serializes a flow outcome together with the budget it was produced
+/// under (`produced_with`), so a later daemon can tell whether a cached
+/// `degraded` verdict deserves a recompute for a better-funded requester.
+/// The budget fields are appended after the circuit: entries written by
+/// the budget-blind format are shorter, fail `decode_outcome`'s bounds
+/// checks with `deserialize_error`, and gracefully count as a miss.
+std::vector<std::uint8_t> encode_outcome( const flow_result& result, const budget& produced_with )
 {
   byte_writer w;
   w.u8( static_cast<std::uint8_t>( result.status ) );
@@ -405,10 +454,14 @@ std::vector<std::uint8_t> encode_outcome( const flow_result& result )
   w.u64( result.aig_nodes_optimized );
   w.str( result.status_detail );
   write_circuit( w, result.circuit );
+  w.f64( produced_with.deadline_seconds );
+  w.u64( produced_with.sat_conflict_budget );
+  w.u64( produced_with.sat_propagation_budget );
+  w.u64( produced_with.exorcism_pair_budget );
   return w.take();
 }
 
-flow_result decode_outcome( const std::vector<std::uint8_t>& payload )
+flow_result decode_outcome( const std::vector<std::uint8_t>& payload, budget& produced_with )
 {
   byte_reader r( payload );
   flow_result result;
@@ -442,8 +495,22 @@ flow_result decode_outcome( const std::vector<std::uint8_t>& payload )
   result.aig_nodes_optimized = r.u64();
   result.status_detail = r.str();
   result.circuit = read_circuit( r );
+  produced_with.deadline_seconds = r.f64();
+  produced_with.sat_conflict_budget = r.u64();
+  produced_with.sat_propagation_budget = r.u64();
+  produced_with.exorcism_pair_budget = r.u64();
   r.expect_end();
   return result;
+}
+
+/// A cached outcome is served as-is unless it is imperfect (degraded or
+/// verify-downgraded) AND the requester brings strictly more budget than
+/// the producer had — only then can recomputing possibly improve it.
+bool upgrade_worthwhile( const flow_result& cached, const budget& produced_with,
+                         const budget& requested )
+{
+  const bool imperfect = cached.status == flow_status::degraded || cached.verify_downgraded;
+  return imperfect && requested.more_generous_than( produced_with );
 }
 
 std::string synthesize_response( const flow_params& params, const flow_result& result,
@@ -479,9 +546,15 @@ std::string synthesize_response( const flow_params& params, const flow_result& r
   return out;
 }
 
-std::string error_response( const std::string& message )
+std::string error_response( const std::string& message, const std::string& code = {} )
 {
-  return "{\"ok\":false,\"error\":\"" + json_escape( message ) + "\"}";
+  std::string out = "{\"ok\":false,\"error\":\"" + json_escape( message ) + "\"";
+  if ( !code.empty() )
+  {
+    out += ",\"code\":\"" + code + "\"";
+  }
+  out += "}";
+  return out;
 }
 
 } // namespace
@@ -490,15 +563,38 @@ std::string error_response( const std::string& message )
 
 /// Everything the daemon keeps alive for one (design, bitwidth): the
 /// elaborated AIG, its content hash, the stage-artifact cache (which owns
-/// the persistent SAT engine and is attached to the shared store), and
-/// the in-memory result cache.
+/// the persistent SAT engine and is attached to the shared store), the
+/// in-memory result cache (each entry remembering the budget it was
+/// produced under), and the in-flight table duplicate requests coalesce
+/// on.
 struct synthesis_daemon::design_context
 {
+  /// A memoized flow outcome plus the budget that produced it — the
+  /// budget decides whether a later, better-funded requester triggers a
+  /// recompute (see `upgrade_worthwhile`).
+  struct cached_outcome
+  {
+    flow_result result;
+    budget produced_with;
+  };
+
+  /// One in-flight synthesis: the owner publishes `result`/`error`, sets
+  /// `done`, and wakes every coalesced waiter through `results_cv`.
+  struct inflight_request
+  {
+    bool done = false;
+    flow_result result;
+    budget produced_with;
+    std::exception_ptr error;
+  };
+
   aig_network aig{ 0 };
   std::uint64_t design_hash = 0;
   flow_artifact_cache cache;
-  std::mutex results_mutex;
-  std::map<std::string, flow_result> results;
+  std::mutex results_mutex; ///< guards results, inflight
+  std::condition_variable results_cv;
+  std::map<std::string, cached_outcome> results;
+  std::map<std::string, std::shared_ptr<inflight_request>> inflight;
 };
 
 synthesis_daemon::synthesis_daemon( daemon_options options ) : options_( std::move( options ) )
@@ -507,6 +603,12 @@ synthesis_daemon::synthesis_daemon( daemon_options options ) : options_( std::mo
   {
     store_ = std::make_shared<artifact_store>( options_.store_root );
   }
+  const unsigned workers =
+      options_.num_threads == 0u ? thread_pool::default_num_threads() : options_.num_threads;
+  pool_ = std::make_unique<thread_pool>( workers );
+  max_inflight_ = options_.max_inflight != 0u
+                      ? options_.max_inflight
+                      : std::max<std::size_t>( 4u, 2u * static_cast<std::size_t>( workers ) );
 }
 
 synthesis_daemon::~synthesis_daemon()
@@ -560,66 +662,184 @@ std::string synthesis_daemon::handle_synthesize( const std::map<std::string, std
   const auto params = params_from_fields( fields );
   auto& ctx = context_for( design, bitwidth );
   const auto rkey = outcome_key( params );
-
-  // Result-cache tiers: memory, then disk.  A full hit skips synthesis
-  // AND verification — the cached entry carries the verdict.
-  {
-    std::lock_guard<std::mutex> lock( ctx.results_mutex );
-    const auto it = ctx.results.find( rkey );
-    if ( it != ctx.results.end() )
-    {
-      {
-        std::lock_guard<std::mutex> slock( mutex_ );
-        ++stats_.result_hits;
-      }
-      return synthesize_response( params, it->second, true, watch.elapsed_seconds() );
-    }
-  }
   const store_key skey{ ctx.design_hash, payload_kind::flow_outcome, rkey };
-  if ( store_ )
+
+  // Decision loop under the context lock: memory tier, then the in-flight
+  // table (coalesce onto an identical running synthesis), then claim
+  // ownership subject to admission control.  A coalesced waiter that
+  // wakes with a larger budget than the owner's re-runs the loop — it may
+  // now be the one that upgrades the freshly cached degraded outcome.
+  using inflight_request = design_context::inflight_request;
+  std::shared_ptr<inflight_request> entry;
+  bool upgrading = false;
   {
-    if ( const auto payload = store_->load( skey ) )
+    std::unique_lock<std::mutex> lock( ctx.results_mutex );
+    while ( true )
     {
-      try
+      // Memory tier: a full hit skips synthesis AND verification — the
+      // cached entry carries the verdict — unless this requester's larger
+      // budget justifies recomputing an imperfect one.
+      const auto it = ctx.results.find( rkey );
+      if ( it != ctx.results.end() &&
+           !upgrade_worthwhile( it->second.result, it->second.produced_with, params.limits ) )
       {
-        auto result = decode_outcome( *payload );
-        {
-          std::lock_guard<std::mutex> lock( ctx.results_mutex );
-          ctx.results.emplace( rkey, result );
-        }
+        const auto result = it->second.result;
+        lock.unlock();
         {
           std::lock_guard<std::mutex> slock( mutex_ );
           ++stats_.result_hits;
         }
         return synthesize_response( params, result, true, watch.elapsed_seconds() );
       }
-      catch ( const deserialize_error& )
+      const bool memory_upgrade = it != ctx.results.end();
+
+      // In-flight tier: identical concurrent queries fold onto the one
+      // owner's synthesis instead of recomputing.
+      const auto fit = ctx.inflight.find( rkey );
+      if ( fit != ctx.inflight.end() )
       {
-        // corrupt outcome entry: recompute below
+        const auto shared = fit->second;
+        {
+          std::lock_guard<std::mutex> slock( mutex_ );
+          ++stats_.coalesced;
+        }
+        ctx.results_cv.wait( lock, [&shared] { return shared->done; } );
+        if ( shared->error )
+        {
+          std::rethrow_exception( shared->error );
+        }
+        if ( !upgrade_worthwhile( shared->result, shared->produced_with, params.limits ) )
+        {
+          const auto result = shared->result;
+          lock.unlock();
+          return synthesize_response( params, result, true, watch.elapsed_seconds() );
+        }
+        continue;
       }
+
+      // Miss (or upgrade): claim ownership, subject to the admission cap —
+      // beyond max_inflight_ owners the request is rejected immediately so
+      // one huge design cannot absorb every connection thread.
+      if ( inflight_.fetch_add( 1 ) >= max_inflight_ )
+      {
+        inflight_.fetch_sub( 1 );
+        lock.unlock();
+        {
+          std::lock_guard<std::mutex> slock( mutex_ );
+          ++stats_.rejected;
+        }
+        return error_response(
+            "synthesis queue full (" + std::to_string( max_inflight_ ) + " in flight)", "busy" );
+      }
+      upgrading = memory_upgrade;
+      entry = std::make_shared<inflight_request>();
+      entry->produced_with = params.limits;
+      ctx.inflight.emplace( rkey, entry );
+      break;
     }
   }
 
-  const auto result = run_flow_staged( ctx.aig, params, ctx.cache );
+  // Owner path.  Whatever happens, the in-flight entry must be published
+  // and erased and the waiters woken — an exception reaches them as
+  // `entry->error`.
+  try
   {
-    std::lock_guard<std::mutex> slock( mutex_ );
-    ++stats_.synthesized;
+    // Disk tier (pointless when we already decided to upgrade a memory
+    // slot).  A disk hit is subject to the same budget-honesty rule; a
+    // corrupt or budget-blind legacy entry counts as a miss and is
+    // recomputed and rewritten below.
+    if ( !upgrading && store_ )
+    {
+      if ( const auto payload = store_->load( skey ) )
+      {
+        try
+        {
+          budget produced_with;
+          const auto result = decode_outcome( *payload, produced_with );
+          if ( !upgrade_worthwhile( result, produced_with, params.limits ) )
+          {
+            {
+              std::lock_guard<std::mutex> lock( ctx.results_mutex );
+              ctx.results[rkey] = { result, produced_with };
+              entry->result = result;
+              entry->produced_with = produced_with;
+              entry->done = true;
+              ctx.inflight.erase( rkey );
+              ctx.results_cv.notify_all();
+            }
+            inflight_.fetch_sub( 1 );
+            {
+              std::lock_guard<std::mutex> slock( mutex_ );
+              ++stats_.result_hits;
+            }
+            return synthesize_response( params, result, true, watch.elapsed_seconds() );
+          }
+          upgrading = true; // the store has it, but this requester can do better
+        }
+        catch ( const deserialize_error& )
+        {
+          // corrupt outcome entry: recompute below
+        }
+      }
+    }
+
+    // Synthesize on the shared pool: the staged flow becomes a little
+    // dependency graph (optimize → artifact → tail) that runs alongside
+    // every other in-flight request's graph; stage work still coalesces
+    // per design through the artifact-cache keys.  The deadline is armed
+    // here — at admission — so time spent queued behind other requests'
+    // tasks consumes this request's budget, and a tail that cannot start
+    // before expiry reports `timed_out` instead of running late.
+    const auto stop = deadline::in( params.limits.deadline_seconds );
+    flow_result out;
+    task_graph graph;
+    const auto ids = add_flow_tasks( graph, ctx.aig, params, ctx.cache, stop, out );
+    graph.run( *pool_, stop );
+    fill_flow_status_from_graph( graph, ids.tail, out );
+
+    {
+      std::lock_guard<std::mutex> slock( mutex_ );
+      ++stats_.synthesized;
+      if ( upgrading )
+      {
+        ++stats_.upgraded;
+      }
+    }
+    // Only completed results are worth remembering: a timed-out or failed
+    // attempt must not pin the failure for every later (possibly
+    // better-budgeted) requester.  An upgrade overwrites both tiers.
+    const bool cacheable =
+        out.status == flow_status::ok || out.status == flow_status::degraded;
+    {
+      std::lock_guard<std::mutex> lock( ctx.results_mutex );
+      if ( cacheable )
+      {
+        ctx.results[rkey] = { out, params.limits };
+      }
+      entry->result = out;
+      entry->done = true;
+      ctx.inflight.erase( rkey );
+      ctx.results_cv.notify_all();
+    }
+    inflight_.fetch_sub( 1 );
+    if ( cacheable && store_ )
+    {
+      store_->save( skey, encode_outcome( out, params.limits ) );
+    }
+    return synthesize_response( params, out, false, watch.elapsed_seconds() );
   }
-  // Only completed results are worth remembering: a timed-out or failed
-  // attempt must not pin the failure for every later (possibly
-  // better-budgeted) requester.
-  if ( result.status == flow_status::ok || result.status == flow_status::degraded )
+  catch ( ... )
   {
     {
       std::lock_guard<std::mutex> lock( ctx.results_mutex );
-      ctx.results.emplace( rkey, result );
+      entry->error = std::current_exception();
+      entry->done = true;
+      ctx.inflight.erase( rkey );
+      ctx.results_cv.notify_all();
     }
-    if ( store_ )
-    {
-      store_->save( skey, encode_outcome( result ) );
-    }
+    inflight_.fetch_sub( 1 );
+    throw;
   }
-  return synthesize_response( params, result, false, watch.elapsed_seconds() );
 }
 
 std::string synthesis_daemon::handle_request( const std::string& line )
@@ -663,6 +883,13 @@ std::string synthesis_daemon::handle_request( const std::string& line )
       out += ",\"errors\":" + std::to_string( d.errors );
       out += ",\"synthesized\":" + std::to_string( d.synthesized );
       out += ",\"result_hits\":" + std::to_string( d.result_hits );
+      out += ",\"coalesced\":" + std::to_string( d.coalesced );
+      out += ",\"rejected\":" + std::to_string( d.rejected );
+      out += ",\"upgraded\":" + std::to_string( d.upgraded );
+      out += ",\"inflight\":" + std::to_string( inflight_.load() );
+      out += ",\"threads\":" + std::to_string( pool_->num_workers() == 0u
+                                                   ? 1u
+                                                   : pool_->num_workers() );
       out += ",\"designs\":" + std::to_string( num_designs );
       out += ",\"artifact_hits\":" + std::to_string( artifacts.hits );
       out += ",\"artifact_store_hits\":" + std::to_string( artifacts.store_hits );
@@ -701,6 +928,16 @@ daemon_stats synthesis_daemon::stats() const
 {
   std::lock_guard<std::mutex> lock( mutex_ );
   return stats_;
+}
+
+std::size_t synthesis_daemon::inflight() const
+{
+  return inflight_.load();
+}
+
+unsigned synthesis_daemon::num_threads() const
+{
+  return pool_->num_workers() == 0u ? 1u : pool_->num_workers();
 }
 
 // --- socket transport --------------------------------------------------------
@@ -748,9 +985,71 @@ void synthesis_daemon::accept_loop()
       }
       continue;
     }
-    std::lock_guard<std::mutex> lock( mutex_ );
-    connection_threads_.emplace_back( &synthesis_daemon::handle_connection, this, fd );
+    bool admitted = false;
+    {
+      std::lock_guard<std::mutex> lock( conn_mutex_ );
+      // Reap finished connections first: their threads set `done` as the
+      // last action, so join() returns immediately and the slot count
+      // tracks LIVE connections, not connections ever accepted.
+      for ( auto it = connections_.begin(); it != connections_.end(); )
+      {
+        if ( it->done->load() )
+        {
+          it->thread.join();
+          it = connections_.erase( it );
+        }
+        else
+        {
+          ++it;
+        }
+      }
+      if ( connections_.size() < options_.max_connections )
+      {
+        auto done = std::make_shared<std::atomic<bool>>( false );
+        connection_slot slot;
+        slot.done = done;
+        slot.thread = std::thread( [this, fd, done] {
+          handle_connection( fd );
+          done->store( true );
+        } );
+        connections_.push_back( std::move( slot ) );
+        admitted = true;
+      }
+    }
+    if ( !admitted )
+    {
+      {
+        std::lock_guard<std::mutex> lock( mutex_ );
+        ++stats_.rejected;
+      }
+      send_all( fd, error_response( "too many connections (" +
+                                        std::to_string( options_.max_connections ) + " open)",
+                                    "busy" ) +
+                        "\n" );
+      ::close( fd );
+    }
   }
+}
+
+/// Sends all of `data`, retrying short writes and EINTR; MSG_NOSIGNAL so
+/// a client that hung up yields an error return instead of SIGPIPE.
+bool synthesis_daemon::send_all( int fd, const std::string& data )
+{
+  std::size_t sent = 0;
+  while ( sent < data.size() )
+  {
+    const auto m = ::send( fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL );
+    if ( m < 0 && errno == EINTR )
+    {
+      continue;
+    }
+    if ( m <= 0 )
+    {
+      return false;
+    }
+    sent += static_cast<std::size_t>( m );
+  }
+  return true;
 }
 
 void synthesis_daemon::handle_connection( int fd )
@@ -760,6 +1059,10 @@ void synthesis_daemon::handle_connection( int fd )
   while ( true )
   {
     const auto n = ::recv( fd, chunk, sizeof chunk, 0 );
+    if ( n < 0 && errno == EINTR )
+    {
+      continue; // interrupted by a signal, not a hangup
+    }
     if ( n <= 0 )
     {
       break;
@@ -775,17 +1078,25 @@ void synthesis_daemon::handle_connection( int fd )
         continue;
       }
       const auto response = handle_request( line ) + "\n";
-      std::size_t sent = 0;
-      while ( sent < response.size() )
+      if ( !send_all( fd, response ) )
       {
-        const auto m = ::send( fd, response.data() + sent, response.size() - sent, 0 );
-        if ( m <= 0 )
-        {
-          ::close( fd );
-          return;
-        }
-        sent += static_cast<std::size_t>( m );
+        ::close( fd );
+        return;
       }
+    }
+    // A client streaming bytes without ever sending a newline would grow
+    // `buffer` until the daemon OOMs; answer once and drop the connection.
+    if ( buffer.size() > options_.max_line_bytes )
+    {
+      {
+        std::lock_guard<std::mutex> lock( mutex_ );
+        ++stats_.errors;
+      }
+      send_all( fd, error_response( "request line exceeds " +
+                                        std::to_string( options_.max_line_bytes ) + " bytes",
+                                    "line_too_long" ) +
+                        "\n" );
+      break;
     }
   }
   ::close( fd );
@@ -809,14 +1120,14 @@ void synthesis_daemon::stop()
     listen_fd_ = -1;
     ::unlink( options_.socket_path.c_str() );
   }
-  std::vector<std::thread> connections;
+  std::list<connection_slot> connections;
   {
-    std::lock_guard<std::mutex> lock( mutex_ );
-    connections.swap( connection_threads_ );
+    std::lock_guard<std::mutex> lock( conn_mutex_ );
+    connections.swap( connections_ );
   }
-  for ( auto& t : connections )
+  for ( auto& slot : connections )
   {
-    t.join();
+    slot.thread.join();
   }
 }
 

@@ -9,6 +9,32 @@
 /// cache (`payload_kind::flow_outcome`, in memory and on disk) so a repeat
 /// synthesis query is answered without recomputing anything.
 ///
+/// Execution model: connection threads are pure I/O.  Every admitted
+/// synthesize request builds its staged flow as a `task_graph`
+/// (optimize → backend artifact → synthesis tail) and runs it on ONE
+/// long-lived work-stealing pool shared by all in-flight requests, so a
+/// big design's stages parallelize across workers and concurrent requests
+/// interleave at task granularity instead of fighting over cores
+/// thread-per-request.  Identical concurrent queries coalesce: an
+/// in-flight table keyed on the result-cache key (`outcome_key`) makes
+/// every duplicate wait for the one owner's synthesis and share its
+/// result — N identical in-flight queries run `run_flow_staged` exactly
+/// once (stats `synthesized == 1`, the rest counted `coalesced`).
+///
+/// Admission control: at most `max_inflight` syntheses may be in flight;
+/// requests beyond that are rejected immediately with
+/// `{"ok":false,...,"code":"busy"}` so one huge design cannot starve the
+/// socket.  A request's deadline is armed at admission — time spent
+/// queued behind other requests' tasks consumes its budget, and a tail
+/// that cannot start before expiry reports `timed_out`.
+///
+/// Budget-honest result cache: cached outcomes remember the budget they
+/// were produced under.  A cached `degraded` (or verify-downgraded)
+/// outcome is served as-is only to requesters with no more budget than
+/// the producer had; a strictly better-funded requester triggers a
+/// recompute that upgrades the memory slot and the store entry (stats
+/// `upgraded`), mirroring the stage-level ESOP upgrade path.
+///
 /// Wire protocol: line-delimited JSON over `AF_UNIX`/`SOCK_STREAM` — one
 /// flat JSON object per request line, one per response line.  Requests:
 ///
@@ -17,28 +43,40 @@
 ///   {"cmd":"shutdown"}
 ///   {"cmd":"synthesize","design":"intdiv","bitwidth":6,"flow":"esop",
 ///    "rounds":2,"esop_p":1,"exorcism":1,"cleanup":"keep_garbage",
-///    "cut_size":4,"verify":"sampled","deadline":0}
+///    "cut_size":4,"verify":"sampled","deadline":0,
+///    "sat_conflicts":0,"sat_propagations":0,"exorcism_pairs":0}
+///
+/// (`deadline` in seconds, the three budget fields as counts; 0 =
+/// unlimited, matching `qsyn::budget`.)
 ///
 /// Every response carries `"ok":true|false`; a synthesize response adds
 /// the cost report, the flow/verification status, `"from_cache"` (served
-/// from the result cache), and `"seconds"` (server-side handling time).
-/// Malformed requests get `"ok":false` + `"error"` — the daemon never
-/// dies on bad input.  Connections are handled one thread each; all
-/// shared state is internally synchronized, so concurrent queries (same
-/// or different designs) are safe.
-
+/// from the result cache or coalesced onto an in-flight duplicate), and
+/// `"seconds"` (server-side handling time).  Failures get `"ok":false` +
+/// `"error"`, plus a machine-readable `"code"` for backpressure:
+/// `"busy"` (admission or connection cap hit — retry later) and
+/// `"line_too_long"` (request line exceeded `max_line_bytes`; the daemon
+/// answers then drops the connection instead of buffering without bound).
+/// The daemon never dies on bad input.  Connections are capped at
+/// `max_connections` and their threads reaped as they finish; all shared
+/// state is internally synchronized.
 #pragma once
 
 #include <atomic>
+#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
-#include <vector>
 
 #include "../core/flows.hpp"
 #include "artifact_store.hpp"
+
+namespace qsyn
+{
+class thread_pool;
+}
 
 namespace qsyn::store
 {
@@ -47,6 +85,19 @@ struct daemon_options
 {
   std::string socket_path;  ///< unix-domain socket to listen on
   std::string store_root;   ///< artifact store root; empty = no disk tier
+  /// Workers of the shared synthesis pool (0 = thread_pool's default,
+  /// honoring QSYN_THREADS; 1 = inline execution on the request thread).
+  unsigned num_threads = 0;
+  /// Admission cap: synthesize requests beyond this many in-flight
+  /// syntheses are rejected with code "busy" (0 = 2x workers, min 4).
+  std::size_t max_inflight = 0;
+  /// Connection cap: accepts beyond this many live connections are
+  /// answered with code "busy" and closed.
+  std::size_t max_connections = 64;
+  /// A request line longer than this is answered with code
+  /// "line_too_long" and the connection dropped (guards against a client
+  /// streaming bytes without a newline).
+  std::size_t max_line_bytes = 1u << 20;
 };
 
 /// Request counters (monotone over the daemon's lifetime).
@@ -57,6 +108,11 @@ struct daemon_stats
   std::size_t synthesized = 0;  ///< synthesize queries that ran the flow
   std::size_t result_hits = 0;  ///< synthesize queries served from the
                                 ///< result cache (memory or disk)
+  std::size_t coalesced = 0;    ///< synthesize queries that waited on an
+                                ///< identical in-flight query's synthesis
+  std::size_t rejected = 0;     ///< requests/connections rejected "busy"
+  std::size_t upgraded = 0;     ///< degraded cached outcomes recomputed
+                                ///< for a better-budgeted requester
 };
 
 class synthesis_daemon
@@ -87,6 +143,12 @@ public:
   [[nodiscard]] bool shutdown_requested() const;
 
   [[nodiscard]] daemon_stats stats() const;
+  /// Currently admitted (owner) syntheses — a gauge, not a counter; also
+  /// reported as `"inflight"` by the stats command so clients can probe
+  /// saturation.
+  [[nodiscard]] std::size_t inflight() const;
+  /// Workers of the shared synthesis pool (after defaulting).
+  [[nodiscard]] unsigned num_threads() const;
   [[nodiscard]] std::shared_ptr<artifact_store> store() const { return store_; }
 
 private:
@@ -96,25 +158,42 @@ private:
   std::string handle_synthesize( const std::map<std::string, std::string>& fields );
   void accept_loop();
   void handle_connection( int fd );
+  bool send_all( int fd, const std::string& data );
 
   daemon_options options_;
   std::shared_ptr<artifact_store> store_; ///< nullptr when store_root is empty
+  std::unique_ptr<thread_pool> pool_;     ///< shared by all in-flight requests
+  std::size_t max_inflight_ = 0;          ///< resolved admission cap
 
-  mutable std::mutex mutex_; ///< guards designs_, stats_, threads_
+  mutable std::mutex mutex_; ///< guards designs_, stats_
   std::map<std::string, std::unique_ptr<design_context>> designs_;
   daemon_stats stats_;
+  std::atomic<std::size_t> inflight_{ 0 }; ///< admitted owner syntheses
 
   std::atomic<bool> stopping_{ false };
   std::atomic<bool> shutdown_requested_{ false };
   int listen_fd_ = -1;
   std::mutex stop_mutex_; ///< makes stop() idempotent without holding mutex_
   std::thread accept_thread_;
-  std::vector<std::thread> connection_threads_;
+
+  /// Reaped, capped connection pool: each slot's `done` flag is set by the
+  /// connection thread as its last action, and the accept loop joins and
+  /// erases finished slots before admitting the next connection, so the
+  /// daemon's thread count is bounded by live connections instead of
+  /// growing with every connection ever accepted.
+  struct connection_slot
+  {
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+  std::mutex conn_mutex_; ///< guards connections_
+  std::list<connection_slot> connections_;
 };
 
 /// Parses one flat JSON object (string / number / bool / null values —
 /// no nesting) into key → value text, with string escapes decoded.
-/// Throws std::runtime_error on malformed input.
+/// Throws std::runtime_error on malformed input, including trailing
+/// garbage after the closing '}'.
 std::map<std::string, std::string> parse_flat_json( const std::string& line );
 
 /// JSON string escaping for response assembly (and the client CLI).

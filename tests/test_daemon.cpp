@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstring>
 #include <filesystem>
 #include <string>
@@ -52,8 +53,10 @@ std::string roundtrip( const std::string& socket_path, const std::string& line )
   EXPECT_GE( fd, 0 );
   EXPECT_EQ( ::connect( fd, reinterpret_cast<const sockaddr*>( &addr ), sizeof( addr ) ), 0 );
   const auto request = line + "\n";
-  EXPECT_EQ( ::send( fd, request.data(), request.size(), 0 ),
-             static_cast<ssize_t>( request.size() ) );
+  // MSG_NOSIGNAL and no assert on the result: the daemon may answer (e.g.
+  // "busy") and close before this send runs — the pre-close response is
+  // still readable below, and a plain send would raise SIGPIPE.
+  ::send( fd, request.data(), request.size(), MSG_NOSIGNAL );
   std::string response;
   char chunk[4096];
   while ( response.find( '\n' ) == std::string::npos )
@@ -104,6 +107,17 @@ TEST( daemon_json, rejects_malformed_input )
   {
     EXPECT_THROW( parse_flat_json( bad ), std::runtime_error ) << bad;
   }
+}
+
+TEST( daemon_json, rejects_trailing_garbage_after_object )
+{
+  for ( const auto* bad : { R"({"a":1}garbage)", R"({"a":1} {"b":2})", R"({} x)",
+                            R"({"cmd":"ping"},)", R"({}})" } )
+  {
+    EXPECT_THROW( parse_flat_json( bad ), std::runtime_error ) << bad;
+  }
+  // Trailing whitespace is still fine.
+  EXPECT_EQ( parse_flat_json( "{\"a\":1} \t " ).at( "a" ), "1" );
 }
 
 // --- request handling (no socket) --------------------------------------------
@@ -225,6 +239,152 @@ TEST( daemon, concurrent_queries_are_safe )
   }
 }
 
+TEST( daemon, concurrent_identical_queries_coalesce_into_one_synthesis )
+{
+  synthesis_daemon daemon( {} );
+  constexpr unsigned num_clients = 8;
+  const auto request =
+      R"({"cmd":"synthesize","design":"intdiv","bitwidth":5,"flow":"esop","esop_p":1,"verify":"sampled"})";
+  std::vector<std::string> responses( num_clients );
+  std::vector<std::thread> clients;
+  for ( unsigned t = 0; t < num_clients; ++t )
+  {
+    clients.emplace_back(
+        [&daemon, &responses, t, request] { responses[t] = daemon.handle_request( request ); } );
+  }
+  for ( auto& t : clients )
+  {
+    t.join();
+  }
+
+  // Whatever the interleaving — true coalescing onto the one in-flight
+  // owner, or stragglers served from the result cache it filled — the
+  // flow ran exactly once, and everyone got the same payload.
+  const auto payload_of = []( const std::string& s ) {
+    const auto from = s.find( "\"qubits\"" );
+    const auto to = s.find( ",\"runtime_seconds\"" );
+    return s.substr( from, to - from );
+  };
+  for ( const auto& r : responses )
+  {
+    ASSERT_TRUE( contains( r, "\"ok\":true" ) ) << r;
+    EXPECT_TRUE( contains( r, "\"status\":\"ok\"" ) ) << r;
+    EXPECT_EQ( payload_of( r ), payload_of( responses[0] ) );
+  }
+  const auto stats = daemon.stats();
+  EXPECT_EQ( stats.requests, num_clients );
+  EXPECT_EQ( stats.synthesized, 1u );
+  EXPECT_EQ( stats.result_hits + stats.coalesced, num_clients - 1u );
+  EXPECT_EQ( daemon.inflight(), 0u );
+}
+
+TEST( daemon, degraded_outcome_upgrades_on_better_budgeted_repeat )
+{
+  synthesis_daemon daemon( {} );
+  // A one-pair EXORCISM budget deterministically stops minimization
+  // early: the outcome is cached `degraded`.
+  const auto starved =
+      R"({"cmd":"synthesize","design":"intdiv","bitwidth":4,"flow":"esop","esop_p":1,"exorcism":1,"verify":"sampled","exorcism_pairs":1})";
+  const auto first = daemon.handle_request( starved );
+  ASSERT_TRUE( contains( first, "\"ok\":true" ) ) << first;
+  EXPECT_TRUE( contains( first, "\"status\":\"degraded\"" ) ) << first;
+
+  // An equally starved repeat is a plain cache hit — same degraded verdict.
+  const auto repeat = daemon.handle_request( starved );
+  EXPECT_TRUE( contains( repeat, "\"from_cache\":true" ) ) << repeat;
+  EXPECT_TRUE( contains( repeat, "\"status\":\"degraded\"" ) );
+
+  // An unlimited-budget requester of the same flow must NOT be served the
+  // pinned degraded verdict: the daemon recomputes and upgrades the slot.
+  const auto unlimited =
+      R"({"cmd":"synthesize","design":"intdiv","bitwidth":4,"flow":"esop","esop_p":1,"exorcism":1,"verify":"sampled"})";
+  const auto upgraded = daemon.handle_request( unlimited );
+  ASSERT_TRUE( contains( upgraded, "\"ok\":true" ) ) << upgraded;
+  EXPECT_TRUE( contains( upgraded, "\"from_cache\":false" ) ) << upgraded;
+  EXPECT_TRUE( contains( upgraded, "\"status\":\"ok\"" ) ) << upgraded;
+
+  // The upgrade overwrote the cache: both budget classes now hit it.
+  EXPECT_TRUE( contains( daemon.handle_request( unlimited ), "\"from_cache\":true" ) );
+  const auto after = daemon.handle_request( starved );
+  EXPECT_TRUE( contains( after, "\"from_cache\":true" ) );
+  EXPECT_TRUE( contains( after, "\"status\":\"ok\"" ) );
+
+  const auto stats = daemon.stats();
+  EXPECT_EQ( stats.synthesized, 2u );
+  EXPECT_EQ( stats.upgraded, 1u );
+  EXPECT_EQ( stats.result_hits, 3u );
+}
+
+TEST( daemon, degraded_store_entry_upgrades_across_instances )
+{
+  temp_dir dir;
+  const auto root = dir.path + "/store";
+  const auto starved =
+      R"({"cmd":"synthesize","design":"intdiv","bitwidth":4,"flow":"esop","esop_p":1,"exorcism":1,"verify":"sampled","exorcism_pairs":1})";
+  const auto unlimited =
+      R"({"cmd":"synthesize","design":"intdiv","bitwidth":4,"flow":"esop","esop_p":1,"exorcism":1,"verify":"sampled"})";
+
+  {
+    synthesis_daemon daemon( { "", root } );
+    const auto first = daemon.handle_request( starved );
+    ASSERT_TRUE( contains( first, "\"status\":\"degraded\"" ) ) << first;
+  }
+
+  // A restarted daemon finds the degraded entry on disk, sees the bigger
+  // budget, recomputes, and rewrites the entry upgraded.
+  {
+    synthesis_daemon reborn( { "", root } );
+    const auto upgraded = reborn.handle_request( unlimited );
+    ASSERT_TRUE( contains( upgraded, "\"ok\":true" ) ) << upgraded;
+    EXPECT_TRUE( contains( upgraded, "\"from_cache\":false" ) );
+    EXPECT_TRUE( contains( upgraded, "\"status\":\"ok\"" ) );
+    EXPECT_EQ( reborn.stats().synthesized, 1u );
+    EXPECT_EQ( reborn.stats().upgraded, 1u );
+  }
+
+  // After the upgrade, a third instance serves `ok` straight from disk.
+  synthesis_daemon third( { "", root } );
+  const auto served = third.handle_request( unlimited );
+  EXPECT_TRUE( contains( served, "\"from_cache\":true" ) ) << served;
+  EXPECT_TRUE( contains( served, "\"status\":\"ok\"" ) );
+  EXPECT_EQ( third.stats().synthesized, 0u );
+}
+
+TEST( daemon, admission_cap_rejects_with_busy )
+{
+  store::daemon_options options;
+  options.num_threads = 1;
+  options.max_inflight = 1;
+  synthesis_daemon daemon( options );
+
+  // Occupy the single admission slot with a slow synthesis...
+  std::thread owner( [&daemon] {
+    const auto r = daemon.handle_request(
+        R"({"cmd":"synthesize","design":"newton","bitwidth":7,"flow":"hierarchical","verify":"sat"})" );
+    EXPECT_TRUE( contains( r, "\"ok\":true" ) ) << r;
+  } );
+  // ...wait until it is admitted (inflight is a gauge exposed for exactly
+  // this kind of saturation probe)...
+  for ( int i = 0; i < 5000 && daemon.inflight() == 0u; ++i )
+  {
+    std::this_thread::sleep_for( std::chrono::milliseconds( 1 ) );
+  }
+  ASSERT_EQ( daemon.inflight(), 1u );
+
+  // ...and observe a different query bounce instead of queuing behind it.
+  const auto busy = daemon.handle_request(
+      R"({"cmd":"synthesize","design":"intdiv","bitwidth":4,"flow":"esop","esop_p":1})" );
+  EXPECT_TRUE( contains( busy, "\"ok\":false" ) ) << busy;
+  EXPECT_TRUE( contains( busy, "\"code\":\"busy\"" ) ) << busy;
+  owner.join();
+  EXPECT_GE( daemon.stats().rejected, 1u );
+
+  // With the slot free again the same query is admitted and served.
+  const auto after = daemon.handle_request(
+      R"({"cmd":"synthesize","design":"intdiv","bitwidth":4,"flow":"esop","esop_p":1})" );
+  EXPECT_TRUE( contains( after, "\"ok\":true" ) ) << after;
+}
+
 // --- socket transport --------------------------------------------------------
 
 TEST( daemon, serves_line_delimited_json_over_unix_socket )
@@ -267,4 +427,92 @@ TEST( daemon, serves_line_delimited_json_over_unix_socket )
   EXPECT_TRUE( daemon.shutdown_requested() );
   daemon.stop();
   EXPECT_FALSE( std::filesystem::exists( options.socket_path ) );
+}
+
+TEST( daemon, oversized_request_line_is_answered_and_dropped )
+{
+  temp_dir dir;
+  store::daemon_options options;
+  options.socket_path = dir.path + "/d.sock";
+  options.max_line_bytes = 64u * 1024u;
+  synthesis_daemon daemon( options );
+  daemon.start();
+
+  const int fd = ::socket( AF_UNIX, SOCK_STREAM, 0 );
+  ASSERT_GE( fd, 0 );
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy( addr.sun_path, options.socket_path.c_str(), sizeof( addr.sun_path ) - 1 );
+  ASSERT_EQ( ::connect( fd, reinterpret_cast<const sockaddr*>( &addr ), sizeof( addr ) ), 0 );
+
+  // Stream well past the cap without ever sending a newline.  The daemon
+  // must answer with line_too_long and close instead of buffering forever;
+  // once it does, our sends start failing (EPIPE) — that is expected.
+  const std::string blob( 4096, 'x' );
+  for ( int i = 0; i < 32; ++i )
+  {
+    if ( ::send( fd, blob.data(), blob.size(), MSG_NOSIGNAL ) <= 0 )
+    {
+      break;
+    }
+  }
+  std::string response;
+  char chunk[4096];
+  while ( response.find( '\n' ) == std::string::npos )
+  {
+    const auto n = ::recv( fd, chunk, sizeof chunk, 0 );
+    if ( n <= 0 )
+    {
+      break;
+    }
+    response.append( chunk, static_cast<std::size_t>( n ) );
+  }
+  ::close( fd );
+  EXPECT_TRUE( contains( response, "\"code\":\"line_too_long\"" ) ) << response;
+
+  // The daemon survived and still serves new connections.
+  EXPECT_EQ( roundtrip( options.socket_path, R"({"cmd":"ping"})" ),
+             R"({"ok":true,"pong":true})" );
+  EXPECT_GE( daemon.stats().errors, 1u );
+  daemon.stop();
+}
+
+TEST( daemon, connection_cap_rejects_with_busy )
+{
+  temp_dir dir;
+  store::daemon_options options;
+  options.socket_path = dir.path + "/d.sock";
+  options.max_connections = 1;
+  synthesis_daemon daemon( options );
+  daemon.start();
+
+  // Fill the single slot and prove the connection is established by
+  // completing a round trip on it.
+  const int held = ::socket( AF_UNIX, SOCK_STREAM, 0 );
+  ASSERT_GE( held, 0 );
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy( addr.sun_path, options.socket_path.c_str(), sizeof( addr.sun_path ) - 1 );
+  ASSERT_EQ( ::connect( held, reinterpret_cast<const sockaddr*>( &addr ), sizeof( addr ) ), 0 );
+  const std::string ping = "{\"cmd\":\"ping\"}\n";
+  ASSERT_EQ( ::send( held, ping.data(), ping.size(), MSG_NOSIGNAL ),
+             static_cast<ssize_t>( ping.size() ) );
+  char chunk[4096];
+  ASSERT_GT( ::recv( held, chunk, sizeof chunk, 0 ), 0 );
+
+  // The next connection is told "busy" and closed, not silently queued.
+  const auto rejected = roundtrip( options.socket_path, R"({"cmd":"ping"})" );
+  EXPECT_TRUE( contains( rejected, "\"code\":\"busy\"" ) ) << rejected;
+
+  // Releasing the held connection frees the slot (after reaping).
+  ::close( held );
+  std::string ok;
+  for ( int attempt = 0; attempt < 100 && !contains( ok, "pong" ); ++attempt )
+  {
+    std::this_thread::sleep_for( std::chrono::milliseconds( 5 ) );
+    ok = roundtrip( options.socket_path, R"({"cmd":"ping"})" );
+  }
+  EXPECT_TRUE( contains( ok, "pong" ) ) << ok;
+  EXPECT_GE( daemon.stats().rejected, 1u );
+  daemon.stop();
 }

@@ -8,10 +8,15 @@
 ///
 /// Sends exactly one request line and prints the daemon's response line.
 /// With key=value arguments, values that parse as numbers are sent as
-/// JSON numbers, everything else as strings.  Exit status 0 when the
-/// daemon answered with "ok":true, 1 otherwise.
+/// JSON numbers, everything else as strings.  Synthesize requests accept
+/// budget fields (deadline=SECONDS, sat_conflicts=N, sat_propagations=N,
+/// exorcism_pairs=N; 0 = unlimited) — a better-budgeted repeat of a
+/// degraded result makes the daemon recompute and upgrade its cache.
+/// Exit status 0 when the daemon answered with "ok":true; 3 when it
+/// answered "code":"busy" (backpressure — retry later); 1 otherwise.
 
 #include <cctype>
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -148,7 +153,11 @@ int main( int argc, char** argv )
   std::size_t sent = 0;
   while ( sent < request.size() )
   {
-    const auto n = ::send( fd, request.data() + sent, request.size() - sent, 0 );
+    const auto n = ::send( fd, request.data() + sent, request.size() - sent, MSG_NOSIGNAL );
+    if ( n < 0 && errno == EINTR )
+    {
+      continue;
+    }
     if ( n <= 0 )
     {
       std::fprintf( stderr, "qsyn_client: send failed\n" );
@@ -163,6 +172,10 @@ int main( int argc, char** argv )
   while ( response.find( '\n' ) == std::string::npos )
   {
     const auto n = ::recv( fd, chunk, sizeof chunk, 0 );
+    if ( n < 0 && errno == EINTR )
+    {
+      continue;
+    }
     if ( n <= 0 )
     {
       break;
@@ -181,5 +194,11 @@ int main( int argc, char** argv )
     return 1;
   }
   std::printf( "%s\n", response.c_str() );
-  return response.find( "\"ok\":true" ) != std::string::npos ? 0 : 1;
+  if ( response.find( "\"ok\":true" ) != std::string::npos )
+  {
+    return 0;
+  }
+  // Backpressure (admission or connection cap) gets its own status so
+  // scripted callers can retry instead of treating it as a hard failure.
+  return response.find( "\"code\":\"busy\"" ) != std::string::npos ? 3 : 1;
 }
