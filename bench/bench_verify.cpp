@@ -6,23 +6,41 @@
 ///
 /// For every (design, bitwidth, flow) case the benchmark runs exhaustive
 /// circuit-vs-AIG verification three ways — scalar enumeration, block
-/// enumeration (`verify_against_aig_exhaustive`), and the SAT tier — and
-/// times the SAT tier itself three ways: the monolithic one-miter-per-call
-/// reference engine (`sat::check_equivalence`, the PR 3 path), the
-/// incremental structurally-hashed engine on a fresh instance
-/// (`sat::incremental_cec`, what a cold `verify_against_aig_sat` costs),
-/// and a warm re-check on a persistent engine (what every further
-/// configuration of a sweep costs).  All tiers and both SAT engines must
-/// accept the correct circuit and reject a deliberately corrupted copy
-/// with a *real* counterexample, and the scalar and block counterexamples
-/// must be bit-identical.  It writes BENCH_verify.json (schema v2, see
-/// docs/ARCHITECTURE.md) with per-case wall clocks, the block-vs-scalar
-/// speedup and the incremental-vs-monolithic SAT speedup so every future
-/// PR can extend the perf trajectory (scripts/run_bench.sh gates on it).
+/// enumeration (`verify_against_aig_exhaustive_block64`, the retained
+/// 64-bit oracle), and the SAT tier — and times the SAT tier itself three
+/// ways: the monolithic one-miter-per-call reference engine
+/// (`sat::check_equivalence`, the PR 3 path), the incremental
+/// structurally-hashed engine on a fresh instance (`sat::incremental_cec`,
+/// what a cold `verify_against_aig_sat` costs), and a warm re-check on a
+/// persistent engine (what every further configuration of a sweep costs).
+/// All tiers and both SAT engines must accept the correct circuit and
+/// reject a deliberately corrupted copy with a *real* counterexample, and
+/// the scalar and block counterexamples must be bit-identical.
 ///
-/// Usage: bench_verify [--out FILE] [--quick]
+/// Schema v3 adds the SIMD-wide engine: per case it times the wide
+/// single-candidate pass (`wide_ms`, informational) and the frontier batch
+/// — K same-shape sweep candidates verified sequentially by the 64-bit
+/// oracle vs one `verify_batch_against_aig_exhaustive_budgeted` pass that
+/// walks the spec AIG once per lane group for the whole frontier
+/// (`frontier_speedup`, the ≥4x metric scripts/run_bench.sh gates on).
+/// Every case also replays a mixed pass/fail frontier at widths
+/// 64/256/512 and requires reports bit-identical to the per-candidate
+/// 64-bit oracle (`widths_agree`), and records the corrupted-circuit
+/// counterexample as a bit string (`cex`) so run_bench.sh can diff
+/// verdicts between the AVX and portable builds.
+///
+/// It writes BENCH_verify.json (see docs/ARCHITECTURE.md) with per-case
+/// wall clocks and the block-vs-scalar / incremental-vs-monolithic /
+/// frontier-batch speedups so every future PR can extend the perf
+/// trajectory (scripts/run_bench.sh gates on it).
+///
+/// Usage: bench_verify [--out FILE] [--quick] [--sim-only]
+///   --sim-only skips the SAT tier entirely (timings and verdicts); it is
+///   what run_bench.sh uses for the portable-build verdict-identity pass,
+///   where only the simulation tiers are SIMD-relevant.
 
 #include <algorithm>
+#include <limits>
 #include <cstdio>
 #include <cstring>
 #include <optional>
@@ -83,6 +101,10 @@ double time_ms( Fn&& fn )
   return elapsed * 1000.0 / reps;
 }
 
+/// Number of same-shape candidates in the timed frontier batch — the
+/// size of a typical DSE sweep frontier sharing one spec AIG.
+constexpr std::size_t frontier_k = 8;
+
 struct case_result
 {
   std::string name;
@@ -92,6 +114,16 @@ struct case_result
   double scalar_ms = 0.0;
   double block_ms = 0.0;
   double speedup = 0.0;      ///< block vs scalar
+  double wide_ms = 0.0;      ///< wide single-candidate pass at the DSE default width
+  double wide_speedup = 0.0; ///< block64 vs wide, single candidate
+  double block64_word_us = 0.0; ///< sustained 64-bit oracle cost per 64-assignment word
+  double wide_word_us = 0.0;    ///< sustained w512 engine cost per word
+  double width_speedup = 0.0;   ///< per-word throughput, wide vs 64-bit (the >=4x gate)
+  double frontier_block64_ms = 0.0; ///< K sequential 64-bit oracle passes
+  double frontier_wide_ms = 0.0;    ///< one batched wide pass over the K candidates
+  double frontier_speedup = 0.0;    ///< the gated wide-vs-64-bit metric
+  std::string simd_backend;  ///< kernel backend active at the case's width
+  std::string cex;           ///< corrupted-circuit counterexample, bit i = input i
   double sat_mono_ms = 0.0;  ///< monolithic reference (sat::check_equivalence)
   double sat_ms = 0.0;       ///< incremental engine, cold (fresh instance)
   double sat_warm_ms = 0.0;  ///< incremental engine, warm re-check (sweep reuse)
@@ -99,9 +131,33 @@ struct case_result
   bool tiers_agree = true;      ///< all tiers accept the correct circuit,
                                 ///< scalar == block bit-for-bit
   bool corrupt_rejected = true; ///< all tiers reject the corrupted circuit
+  bool widths_agree = true;     ///< batch reports at w64/w256/w512 bit-identical
+                                ///< to the per-candidate 64-bit oracle
 };
 
-case_result run_case( reciprocal_design design, unsigned n, flow_kind kind )
+std::string cex_string( const std::optional<std::vector<bool>>& cex )
+{
+  if ( !cex )
+  {
+    return "none";
+  }
+  std::string s;
+  s.reserve( cex->size() );
+  for ( const auto bit : *cex )
+  {
+    s.push_back( bit ? '1' : '0' );
+  }
+  return s;
+}
+
+bool reports_equal( const partial_verify_report& a, const partial_verify_report& b )
+{
+  return a.counterexample == b.counterexample &&
+         a.assignments_requested == b.assignments_requested &&
+         a.assignments_completed == b.assignments_completed && a.complete == b.complete;
+}
+
+case_result run_case( reciprocal_design design, unsigned n, flow_kind kind, bool sim_only )
 {
   case_result r;
   r.name = std::string( design == reciprocal_design::intdiv ? "intdiv" : "newton" ) + "-n" +
@@ -127,72 +183,203 @@ case_result run_case( reciprocal_design design, unsigned n, flow_kind kind )
   // extraction is outside both scopes).  Monolithic reference: fresh
   // solver + one global miter per call (the PR 3 path, kept in
   // sat/cnf.hpp).
-  const auto impl = circuit_to_aig( circuit );
-  bool mono_ok = false;
-  r.sat_mono_ms = time_ms( [&] { mono_ok = sat::check_equivalence( spec, impl ).equivalent; } );
-  // Cold incremental: fresh engine per call — what the first `sat`-tier
-  // check of a sweep costs.
-  bool cold_ok = false;
-  r.sat_ms = time_ms( [&] {
-    sat::incremental_cec cold;
-    cold_ok = cold.check( spec, impl ).equivalent;
-  } );
-  // Warm incremental: a persistent engine re-checking after a first encode —
-  // the cost every further configuration of a sweep pays for this cone.
-  sat::incremental_cec warm_engine;
-  (void)warm_engine.check( spec, impl );
-  bool warm_ok = false;
-  r.sat_warm_ms = time_ms( [&] { warm_ok = warm_engine.check( spec, impl ).equivalent; } );
-  r.sat_speedup = r.sat_ms > 0.0 ? r.sat_mono_ms / r.sat_ms : 0.0;
+  bool mono_ok = true;
+  bool cold_ok = true;
+  bool warm_ok = true;
+  if ( !sim_only )
+  {
+    const auto impl = circuit_to_aig( circuit );
+    r.sat_mono_ms = time_ms( [&] { mono_ok = sat::check_equivalence( spec, impl ).equivalent; } );
+    // Cold incremental: fresh engine per call — what the first `sat`-tier
+    // check of a sweep costs.
+    r.sat_ms = time_ms( [&] {
+      sat::incremental_cec cold;
+      cold_ok = cold.check( spec, impl ).equivalent;
+    } );
+    // Warm incremental: a persistent engine re-checking after a first encode —
+    // the cost every further configuration of a sweep pays for this cone.
+    sat::incremental_cec warm_engine;
+    (void)warm_engine.check( spec, impl );
+    r.sat_warm_ms = time_ms( [&] { warm_ok = warm_engine.check( spec, impl ).equivalent; } );
+    r.sat_speedup = r.sat_ms > 0.0 ? r.sat_mono_ms / r.sat_ms : 0.0;
+  }
   r.tiers_agree = !scalar_cex && !block_cex && cold_ok && mono_ok && warm_ok;
 
   r.scalar_ms = time_ms( [&] { (void)scalar_exhaustive( circuit, spec ); } );
-  r.block_ms = time_ms( [&] { (void)verify_against_aig_exhaustive( circuit, spec ); } );
+  r.block_ms =
+      time_ms( [&] { (void)verify_against_aig_exhaustive_block64( circuit, spec, deadline{} ); } );
   r.speedup = r.block_ms > 0.0 ? r.scalar_ms / r.block_ms : 0.0;
+
+  // --- the SIMD-wide engine and the frontier batch ---------------------------
+  // Width as the DSE exhaustive tier picks it for this input space; w64
+  // always runs the portable scalar kernels, so n <= 6 cases would measure
+  // engine layout, not SIMD width.
+  const auto width = auto_sim_width( std::uint64_t{ 1 } << r.pis );
+  r.simd_backend = simd_backend_name( active_simd_backend( width ) );
+  r.wide_ms = time_ms(
+      [&] { (void)verify_against_aig_exhaustive_budgeted( circuit, spec, deadline{}, width ); } );
+  r.wide_speedup = r.wide_ms > 0.0 ? r.block_ms / r.wide_ms : 0.0;
+
+  // Sustained per-word verification throughput, the gated wide-vs-64-bit
+  // metric: persistent engines (construction amortized away, as in a long
+  // sweep), spec walk included on both sides, cost divided by the words a
+  // pass settles.  The 64-bit side is the retained oracle's inner loop
+  // (block_simulator + aig_network::simulate_patterns per word); the wide
+  // side runs the w512 lane group.  Per-word is the width-scaling measure:
+  // at n=7 a 512-lane group wraps the 128-assignment space, so whole-case
+  // wall clocks (wide_ms, frontier_wide_ms) can gain at most 2x there —
+  // the full-width gain materializes whenever a group is filled (n >= 9
+  // spaces, sampled tiers, fraig signatures).
+  {
+    block_simulator narrow( circuit );
+    std::vector<std::uint64_t> narrow_words( r.pis, 0u );
+    volatile std::uint64_t sink = 0;
+    const auto wide_width = sim_width::w512;
+    const auto wide_words_per_group = words_of( wide_width );
+    wide_simulator wide( circuit, wide_width );
+    wide_aig_simulator wide_spec( spec, wide_width );
+    std::vector<std::uint64_t> group_words( std::size_t{ r.pis } * wide_words_per_group, 0u );
+    // Interleaved best-of-5: a transient load spike during one side's
+    // window would otherwise skew the ratio; the min of alternating
+    // rounds is each engine's unperturbed cost.
+    auto narrow_ms = std::numeric_limits<double>::infinity();
+    auto group_ms = std::numeric_limits<double>::infinity();
+    for ( int round = 0; round < 5; ++round )
+    {
+      narrow_ms = std::min( narrow_ms, time_ms( [&] {
+                    const auto& spec_out = spec.simulate_patterns( narrow_words );
+                    const auto& out = narrow.evaluate( narrow_words );
+                    sink = sink + out.front() + spec_out.front();
+                  } ) );
+      group_ms = std::min( group_ms, time_ms( [&] {
+                   const auto& spec_out = wide_spec.evaluate( group_words );
+                   const auto& out = wide.evaluate( group_words );
+                   sink = sink + out.front() + spec_out.front();
+                 } ) );
+    }
+    r.block64_word_us = narrow_ms * 1000.0;
+    r.wide_word_us = group_ms * 1000.0 / static_cast<double>( wide_words_per_group );
+    r.width_speedup = r.wide_word_us > 0.0 ? r.block64_word_us / r.wide_word_us : 0.0;
+  }
+
+  // Frontier batch: K same-shape candidates against one spec — the serial
+  // sweep pays K full oracle passes (each re-simulating the spec AIG per
+  // 64-block), the batch walks the spec once per lane group.
+  const std::vector<const reversible_circuit*> frontier( frontier_k, &circuit );
+  r.frontier_block64_ms = time_ms( [&] {
+    for ( const auto* candidate : frontier )
+    {
+      (void)verify_against_aig_exhaustive_block64( *candidate, spec, deadline{} );
+    }
+  } );
+  r.frontier_wide_ms = time_ms(
+      [&] { (void)verify_batch_against_aig_exhaustive_budgeted( frontier, spec, deadline{}, width ); } );
+  r.frontier_speedup =
+      r.frontier_wide_ms > 0.0 ? r.frontier_block64_ms / r.frontier_wide_ms : 0.0;
 
   // --- corrupted circuit: every tier must reject, scalar == block ------------
   const auto corrupted = corrupt_circuit( circuit, spec );
   const auto scalar_bad = scalar_exhaustive( corrupted, spec );
   const auto block_bad = verify_against_aig_exhaustive( corrupted, spec );
-  const auto sat_bad = verify_against_aig_sat( corrupted, spec );
-  const auto mono_bad = sat::check_equivalence( spec, circuit_to_aig( corrupted ) );
-  r.corrupt_rejected = scalar_bad.has_value() && block_bad.has_value() &&
-                       sat_bad.has_value() && !mono_bad.equivalent;
+  r.corrupt_rejected = scalar_bad.has_value() && block_bad.has_value();
   // Scalar and block enumerate in the same order: identical counterexample.
   r.tiers_agree = r.tiers_agree && scalar_bad == block_bad;
-  // SAT counterexamples are solver-dependent; require both engines' to be real.
-  if ( sat_bad )
+  r.cex = cex_string( block_bad );
+  if ( !sim_only )
   {
-    r.corrupt_rejected = r.corrupt_rejected &&
-                         evaluate_circuit( corrupted, *sat_bad ) != spec.evaluate( *sat_bad );
+    const auto sat_bad = verify_against_aig_sat( corrupted, spec );
+    const auto mono_bad = sat::check_equivalence( spec, circuit_to_aig( corrupted ) );
+    r.corrupt_rejected = r.corrupt_rejected && sat_bad.has_value() && !mono_bad.equivalent;
+    // SAT counterexamples are solver-dependent; require both engines' to be real.
+    if ( sat_bad )
+    {
+      r.corrupt_rejected = r.corrupt_rejected &&
+                           evaluate_circuit( corrupted, *sat_bad ) != spec.evaluate( *sat_bad );
+    }
+    if ( mono_bad.counterexample )
+    {
+      r.corrupt_rejected = r.corrupt_rejected &&
+                           evaluate_circuit( corrupted, *mono_bad.counterexample ) !=
+                               spec.evaluate( *mono_bad.counterexample );
+    }
   }
-  if ( mono_bad.counterexample )
+
+  // --- per-width bit-identity on a mixed pass/fail frontier ------------------
+  // Candidates failing at different columns (the NOT flips every column,
+  // the 3-control MCT only fires from column 7 on) pin the
+  // first-counterexample contract, the early-retire bookkeeping and the
+  // per-assignment accounting against the 64-bit oracle at every width.
+  auto flip_first = circuit;
+  flip_first.add_not( output_lines_of( circuit ).front() );
+  auto flip_late = circuit;
   {
-    r.corrupt_rejected = r.corrupt_rejected &&
-                         evaluate_circuit( corrupted, *mono_bad.counterexample ) !=
-                             spec.evaluate( *mono_bad.counterexample );
+    const auto ins = input_lines_of( circuit );
+    const std::vector<control> controls = { { ins[0], true }, { ins[1], true }, { ins[2], true } };
+    auto target = output_lines_of( circuit ).front();
+    for ( const auto line : output_lines_of( circuit ) )
+    {
+      if ( line != ins[0] && line != ins[1] && line != ins[2] )
+      {
+        target = line;
+        break;
+      }
+    }
+    flip_late.add_mct( controls, target );
+  }
+  const std::vector<const reversible_circuit*> mixed = { &circuit, &flip_first, &flip_late,
+                                                         &corrupted };
+  std::vector<partial_verify_report> oracle;
+  oracle.reserve( mixed.size() );
+  for ( const auto* candidate : mixed )
+  {
+    oracle.push_back( verify_against_aig_exhaustive_block64( *candidate, spec, deadline{} ) );
+  }
+  for ( const auto w : { sim_width::w64, sim_width::w256, sim_width::w512 } )
+  {
+    const auto wide = verify_batch_against_aig_exhaustive_budgeted( mixed, spec, deadline{}, w );
+    for ( std::size_t c = 0; c < mixed.size(); ++c )
+    {
+      r.widths_agree = r.widths_agree && reports_equal( wide[c], oracle[c] );
+    }
   }
 
   std::printf( "%-16s pis %2u  gates %6zu | scalar %9.3f ms | block %8.4f ms (%6.1fx) | "
-               "sat mono %8.2f ms  inc %7.2f ms (%5.1fx)  warm %7.3f ms | %s%s\n",
+               "word %8.3f -> %7.3f us (%4.1fx, %s) | wide %8.4f ms (%4.1fx) | "
+               "frontier x%zu %8.4f -> %8.4f ms (%4.1fx) | "
+               "sat mono %8.2f ms  inc %7.2f ms (%5.1fx)  warm %7.3f ms | %s%s%s\n",
                r.name.c_str(), r.pis, r.gates, r.scalar_ms, r.block_ms, r.speedup,
-               r.sat_mono_ms, r.sat_ms, r.sat_speedup, r.sat_warm_ms,
+               r.block64_word_us, r.wide_word_us, r.width_speedup, r.simd_backend.c_str(),
+               r.wide_ms, r.wide_speedup, frontier_k, r.frontier_block64_ms, r.frontier_wide_ms,
+               r.frontier_speedup, r.sat_mono_ms, r.sat_ms, r.sat_speedup, r.sat_warm_ms,
                r.tiers_agree ? "agree" : "TIERS DIVERGED",
-               r.corrupt_rejected ? "" : ", CORRUPTION MISSED" );
+               r.corrupt_rejected ? "" : ", CORRUPTION MISSED",
+               r.widths_agree ? "" : ", WIDTHS DIVERGED" );
   return r;
 }
 
-void write_json( const char* path, const std::vector<case_result>& cases )
+void write_json( const char* path, const std::vector<case_result>& cases, bool sim_only )
 {
   bool all_agree = true;
+  bool widths_agree = true;
   double min_speedup = 0.0;
   double min_sat_speedup = 0.0;
+  double min_wide_speedup = 0.0;
+  double min_frontier_speedup = 0.0;
+  double min_width_speedup = 0.0;
   for ( const auto& c : cases )
   {
-    all_agree = all_agree && c.tiers_agree && c.corrupt_rejected;
+    all_agree = all_agree && c.tiers_agree && c.corrupt_rejected && c.widths_agree;
+    widths_agree = widths_agree && c.widths_agree;
     min_speedup = min_speedup == 0.0 ? c.speedup : std::min( min_speedup, c.speedup );
     min_sat_speedup =
         min_sat_speedup == 0.0 ? c.sat_speedup : std::min( min_sat_speedup, c.sat_speedup );
+    min_wide_speedup =
+        min_wide_speedup == 0.0 ? c.wide_speedup : std::min( min_wide_speedup, c.wide_speedup );
+    min_frontier_speedup = min_frontier_speedup == 0.0
+                               ? c.frontier_speedup
+                               : std::min( min_frontier_speedup, c.frontier_speedup );
+    min_width_speedup =
+        min_width_speedup == 0.0 ? c.width_speedup : std::min( min_width_speedup, c.width_speedup );
   }
   FILE* f = std::fopen( path, "w" );
   if ( !f )
@@ -200,10 +387,20 @@ void write_json( const char* path, const std::vector<case_result>& cases )
     std::fprintf( stderr, "cannot open %s for writing\n", path );
     std::exit( 1 );
   }
-  std::fprintf( f, "{\n  \"bench\": \"verify\",\n  \"schema_version\": 2,\n" );
+  std::fprintf( f, "{\n  \"bench\": \"verify\",\n  \"schema_version\": 3,\n" );
+  std::fprintf( f, "  \"sim_only\": %s,\n", sim_only ? "true" : "false" );
+  std::fprintf( f, "  \"simd_backend\": \"%s\",\n",
+                simd_backend_name( active_simd_backend( sim_width::w512 ) ) );
   std::fprintf( f, "  \"all_agree\": %s,\n", all_agree ? "true" : "false" );
+  std::fprintf( f, "  \"widths_agree\": %s,\n", widths_agree ? "true" : "false" );
   std::fprintf( f, "  \"min_speedup\": %.1f,\n", min_speedup );
   std::fprintf( f, "  \"min_sat_speedup\": %.1f,\n", min_sat_speedup );
+  std::fprintf( f, "  \"min_wide_speedup\": %.1f,\n", min_wide_speedup );
+  std::fprintf( f, "  \"min_frontier_speedup\": %.1f,\n", min_frontier_speedup );
+  // Two decimals: the run_bench.sh floors compare these values, and one
+  // decimal would round a failing 3.46 into a passing 3.5.
+  std::fprintf( f, "  \"min_width_speedup\": %.2f,\n", min_width_speedup );
+  std::fprintf( f, "  \"frontier_k\": %zu,\n", frontier_k );
   std::fprintf( f, "  \"cases\": [\n" );
   for ( std::size_t i = 0; i < cases.size(); ++i )
   {
@@ -216,12 +413,23 @@ void write_json( const char* path, const std::vector<case_result>& cases )
     std::fprintf( f, "      \"scalar_ms\": %.4f,\n", c.scalar_ms );
     std::fprintf( f, "      \"block_ms\": %.4f,\n", c.block_ms );
     std::fprintf( f, "      \"speedup\": %.1f,\n", c.speedup );
+    std::fprintf( f, "      \"wide_ms\": %.4f,\n", c.wide_ms );
+    std::fprintf( f, "      \"wide_speedup\": %.1f,\n", c.wide_speedup );
+    std::fprintf( f, "      \"block64_word_us\": %.4f,\n", c.block64_word_us );
+    std::fprintf( f, "      \"wide_word_us\": %.4f,\n", c.wide_word_us );
+    std::fprintf( f, "      \"width_speedup\": %.2f,\n", c.width_speedup );
+    std::fprintf( f, "      \"frontier_block64_ms\": %.4f,\n", c.frontier_block64_ms );
+    std::fprintf( f, "      \"frontier_wide_ms\": %.4f,\n", c.frontier_wide_ms );
+    std::fprintf( f, "      \"frontier_speedup\": %.1f,\n", c.frontier_speedup );
+    std::fprintf( f, "      \"simd_backend\": \"%s\",\n", c.simd_backend.c_str() );
+    std::fprintf( f, "      \"cex\": \"%s\",\n", c.cex.c_str() );
     std::fprintf( f, "      \"sat_mono_ms\": %.2f,\n", c.sat_mono_ms );
     std::fprintf( f, "      \"sat_ms\": %.2f,\n", c.sat_ms );
     std::fprintf( f, "      \"sat_warm_ms\": %.3f,\n", c.sat_warm_ms );
     std::fprintf( f, "      \"sat_speedup\": %.1f,\n", c.sat_speedup );
     std::fprintf( f, "      \"tiers_agree\": %s,\n", c.tiers_agree ? "true" : "false" );
-    std::fprintf( f, "      \"corrupt_rejected\": %s\n", c.corrupt_rejected ? "true" : "false" );
+    std::fprintf( f, "      \"corrupt_rejected\": %s,\n", c.corrupt_rejected ? "true" : "false" );
+    std::fprintf( f, "      \"widths_agree\": %s\n", c.widths_agree ? "true" : "false" );
     std::fprintf( f, "    }%s\n", i + 1 < cases.size() ? "," : "" );
   }
   std::fprintf( f, "  ]\n}\n" );
@@ -234,6 +442,7 @@ int main( int argc, char** argv )
 {
   const char* out_path = "BENCH_verify.json";
   bool quick = false;
+  bool sim_only = false;
   for ( int i = 1; i < argc; ++i )
   {
     if ( std::strcmp( argv[i], "--out" ) == 0 && i + 1 < argc )
@@ -243,6 +452,10 @@ int main( int argc, char** argv )
     else if ( std::strcmp( argv[i], "--quick" ) == 0 )
     {
       quick = true;
+    }
+    else if ( std::strcmp( argv[i], "--sim-only" ) == 0 )
+    {
+      sim_only = true;
     }
   }
 
@@ -254,18 +467,18 @@ int main( int argc, char** argv )
     {
       for ( const auto kind : { flow_kind::esop_based, flow_kind::hierarchical } )
       {
-        cases.push_back( run_case( design, n, kind ) );
+        cases.push_back( run_case( design, n, kind, sim_only ) );
       }
     }
   }
 
-  write_json( out_path, cases );
+  write_json( out_path, cases, sim_only );
   std::printf( "\nwrote %s\n", out_path );
 
   bool ok = true;
   for ( const auto& c : cases )
   {
-    ok = ok && c.tiers_agree && c.corrupt_rejected;
+    ok = ok && c.tiers_agree && c.corrupt_rejected && c.widths_agree;
   }
   return ok ? 0 : 1;
 }

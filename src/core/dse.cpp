@@ -1,14 +1,18 @@
 #include "dse.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <exception>
 #include <iomanip>
+#include <map>
 #include <memory>
 #include <sstream>
+#include <utility>
 
 #include "../common/fault_injection.hpp"
 #include "../common/thread_pool.hpp"
 #include "../common/timer.hpp"
+#include "../reversible/verify.hpp"
 #include "../verilog/elaborator.hpp"
 
 namespace qsyn
@@ -125,6 +129,133 @@ bool is_budget_error( const std::exception_ptr& error )
 void fill_point_status( const task_graph& graph, task_id tail, dse_point& point )
 {
   fill_flow_status_from_graph( graph, tail, point.result );
+}
+
+// --- frontier batch verification ---------------------------------------------
+
+/// Default sampling parameters of the inline ladder
+/// (`verify_against_aig_sampled_budgeted`'s defaults) — the batch pass must
+/// draw the same patterns to stay bit-identical to per-configuration calls.
+constexpr unsigned batch_verify_samples = 256;
+constexpr std::uint64_t batch_verify_seed = 1;
+
+/// True for configurations whose simulation-tier check the task-graph
+/// engines take over (`flow_params::defer_sim_verify`): the sampled and
+/// exhaustive tiers miter against the spec AIG and batch across the
+/// frontier; the functional flow's truth-table check and the SAT tier stay
+/// inline.
+bool defer_eligible( const flow_params& config )
+{
+  return config.verify && config.kind != flow_kind::functional &&
+         ( config.verification == verify_mode::sampled ||
+           config.verification == verify_mode::exhaustive );
+}
+
+/// One synthesized point whose inline check was deferred to the frontier
+/// batch pass.
+struct deferred_verify_slot
+{
+  flow_result* result = nullptr;
+  verify_mode tier = verify_mode::none;
+  unsigned rounds = 0;            ///< optimization rounds → spec artifact key
+  const deadline* stop = nullptr; ///< the point's per-configuration deadline
+};
+
+/// The frontier batch-verification pass: groups the deferred points by
+/// (spec artifact, tier) and checks each group in ONE SIMD-wide
+/// cross-circuit sweep — the spec AIG is walked once per lane group for the
+/// whole frontier instead of once per candidate.  Widths, sample counts,
+/// and seeds match the inline defaults exactly, so every patched report is
+/// bit-identical to the per-configuration call the tail skipped; only the
+/// wall clock changes (attributed evenly across the group's
+/// `verify_seconds`).
+void batch_verify_deferred( const aig_network& aig, flow_artifact_cache& cache,
+                            const std::vector<deferred_verify_slot>& slots )
+{
+  std::map<std::pair<unsigned, verify_mode>, std::vector<const deferred_verify_slot*>> groups;
+  for ( const auto& slot : slots )
+  {
+    groups[{ slot.rounds, slot.tier }].push_back( &slot );
+  }
+  for ( auto& [key, group] : groups )
+  {
+    const auto tier = key.second;
+    // Always a cache hit: every member's synthesis tail computed (or
+    // coalesced onto) this artifact before it could synthesize at all.
+    const auto& spec = cache.optimized( aig, key.first );
+    std::vector<const reversible_circuit*> circuits;
+    circuits.reserve( group.size() );
+    for ( const auto* slot : group )
+    {
+      circuits.push_back( &slot->result->circuit );
+    }
+    // The widths the inline default overloads pick, so lane layout — and
+    // with it every verdict, counterexample, and coverage count — matches
+    // per-configuration verification bit for bit.
+    const auto width =
+        tier == verify_mode::exhaustive
+            ? ( spec.num_pis() > 24u
+                    ? sim_width::w512
+                    : auto_sim_width( std::uint64_t{ 1 } << spec.num_pis() ) )
+            : auto_sim_width( std::uint64_t{ batch_verify_samples } + 2u );
+    // Every member of a group was armed with the same per-configuration
+    // budget at the same instant (the sweep drivers assign uniform
+    // limits), so the first member's deadline serves the whole batch.
+    const auto& stop = *group.front()->stop;
+    stopwatch watch;
+    std::vector<partial_verify_report> reports;
+    try
+    {
+      reports = tier == verify_mode::exhaustive
+                    ? verify_batch_against_aig_exhaustive_budgeted( circuits, spec, stop, width )
+                    : verify_batch_against_aig_sampled_budgeted(
+                          circuits, spec, stop, batch_verify_samples, batch_verify_seed, width );
+    }
+    catch ( const std::exception& e )
+    {
+      // Interface mismatch or a too-wide exhaustive space throws the same
+      // std::invalid_argument the inline call would have thrown inside
+      // each tail — keep the per-point failure isolation it had there.
+      for ( const auto* slot : group )
+      {
+        slot->result->status = flow_status::failed;
+        slot->result->status_detail = e.what();
+      }
+      continue;
+    }
+    const auto share = watch.elapsed_seconds() / static_cast<double>( group.size() );
+    for ( std::size_t i = 0; i < group.size(); ++i )
+    {
+      auto& result = *group[i]->result;
+      result.verified_with = tier;
+      record_sim_verify_report( result, reports[i] );
+      result.verify_seconds += share;
+      finalize_verify_status( result );
+    }
+  }
+}
+
+/// Collects the deferred-and-synthesized points of one exploration after
+/// its graph ran: a point joins the batch only when its tail completed (a
+/// poisoned/failed/cancelled tail keeps its status record — there is no
+/// circuit to check) and its inline ladder really did skip
+/// (`verified_with` still `none`).
+std::vector<deferred_verify_slot> collect_deferred_slots(
+    const task_graph& graph, const std::vector<flow_params>& configs,
+    const std::vector<task_id>& tails, const std::vector<deadline>& stops,
+    std::vector<dse_point>& points )
+{
+  std::vector<deferred_verify_slot> deferred;
+  for ( std::size_t i = 0; i < configs.size(); ++i )
+  {
+    if ( configs[i].defer_sim_verify && graph.state( tails[i] ) == task_state::done &&
+         points[i].result.verified_with == verify_mode::none )
+    {
+      deferred.push_back( { &points[i].result, configs[i].verification,
+                            configs[i].optimization_rounds, &stops[i] } );
+    }
+  }
+  return deferred;
 }
 
 /// The PR 2 engine (`schedule_mode::tail_only`): stage artifacts are
@@ -257,16 +388,32 @@ std::vector<dse_point> explore_graph( const aig_network& aig,
     stops.push_back( stop.tightened( params.limits.deadline_seconds ) );
   }
 
+  // The graph engine owns the simulation-tier checks of its frontier: the
+  // tails run with `defer_sim_verify` set (on a local copy — the recorded
+  // `points[i].params` keep the caller's configuration, matching the
+  // tail-only oracle) and the batch pass after the run verifies the whole
+  // frontier in one cross-circuit sweep.  Uncached exploration keeps
+  // inline verification: without the shared cache the spec artifact the
+  // batch miters against is private to each tail.
+  auto cfgs = configs;
+  if ( cache )
+  {
+    for ( auto& config : cfgs )
+    {
+      config.defer_sim_verify = defer_eligible( config );
+    }
+  }
+
   task_graph graph;
   std::vector<task_id> tails( configs.size() );
-  for ( std::size_t i = 0; i < configs.size(); ++i )
+  for ( std::size_t i = 0; i < cfgs.size(); ++i )
   {
-    points[i].label = dse_label( configs[i] );
+    points[i].label = dse_label( cfgs[i] );
     points[i].params = configs[i];
     if ( cache )
     {
       tails[i] =
-          add_flow_tasks( graph, aig, configs[i], *cache, stops[i], points[i].result ).tail;
+          add_flow_tasks( graph, aig, cfgs[i], *cache, stops[i], points[i].result ).tail;
     }
     else
     {
@@ -275,13 +422,13 @@ std::vector<dse_point> explore_graph( const aig_network& aig,
       // the exact work the sequential uncached baseline does per slot.
       tails[i] = graph.add(
           "tail:" + points[i].label + "#" + std::to_string( graph.size() ),
-          [&aig, &points, &configs, &stops, i] {
+          [&aig, &points, &cfgs, &stops, i] {
             if ( stops[i].expired() )
             {
               throw budget_exhausted( "deadline expired before the configuration started" );
             }
             flow_artifact_cache local;
-            points[i].result = run_flow_staged( aig, configs[i], local, stops[i] );
+            points[i].result = run_flow_staged( aig, cfgs[i], local, stops[i] );
           } );
     }
   }
@@ -290,9 +437,14 @@ std::vector<dse_point> explore_graph( const aig_network& aig,
   thread_pool pool( static_cast<unsigned>( std::min<std::size_t>(
       resolve_num_threads( options ), std::max<std::size_t>( graph.size(), 1 ) ) ) );
   graph.run( pool, stop );
-  for ( std::size_t i = 0; i < configs.size(); ++i )
+  for ( std::size_t i = 0; i < cfgs.size(); ++i )
   {
     fill_point_status( graph, tails[i], points[i] );
+  }
+  if ( cache )
+  {
+    batch_verify_deferred( aig, *cache,
+                           collect_deferred_slots( graph, cfgs, tails, stops, points ) );
   }
   if ( sched )
   {
@@ -536,6 +688,12 @@ std::vector<design_exploration> explore_designs_graph(
       {
         slot->cache = std::make_unique<flow_artifact_cache>();
         slot->cache->attach_store( options.store );
+        // The per-design batch pass after the run takes over this design's
+        // simulation-tier checks (see `batch_verify_deferred`).
+        for ( auto& config : slot->configs )
+        {
+          config.defer_sim_verify = defer_eligible( config );
+        }
       }
       slot->first_task = graph.size();
       const auto prefix = slot->entry.name + "/";
@@ -562,6 +720,9 @@ std::vector<design_exploration> explore_designs_graph(
       {
         slot->points[i].label = dse_label( slot->configs[i] );
         slot->points[i].params = slot->configs[i];
+        // Recorded params match the serial oracle: the defer flag is the
+        // engine's internal routing, not part of the configuration.
+        slot->points[i].params.defer_sim_verify = false;
         if ( slot->cache )
         {
           slot->tails.push_back( add_flow_tasks( graph, slot->aig, slot->configs[i],
@@ -606,6 +767,12 @@ std::vector<design_exploration> explore_designs_graph(
       for ( std::size_t i = 0; i < build->tails.size(); ++i )
       {
         fill_point_status( graph, build->tails[i], entry.points[i] );
+      }
+      if ( build->cache )
+      {
+        batch_verify_deferred( build->aig, *build->cache,
+                               collect_deferred_slots( graph, build->configs, build->tails,
+                                                       build->stops, entry.points ) );
       }
       aggregate_design_status( entry );
       if ( build->cache )

@@ -607,6 +607,44 @@ void fill_flow_status_from_graph( const task_graph& graph, task_id tail, flow_re
 
 // --- staged flow driver ------------------------------------------------------
 
+void record_sim_verify_report( flow_result& result, const partial_verify_report& report )
+{
+  result.counterexample = report.counterexample;
+  result.verify_complete = report.complete;
+  result.verify_samples_requested = report.assignments_requested;
+  result.verify_samples_completed = report.assignments_completed;
+  result.verified = report.complete && !report.counterexample.has_value();
+}
+
+void finalize_verify_status( flow_result& result )
+{
+  if ( result.counterexample.has_value() )
+  {
+    return;
+  }
+  if ( !result.verify_complete )
+  {
+    if ( result.verify_samples_completed == 0 )
+    {
+      result.status = flow_status::timed_out;
+      result.status_detail = "deadline expired before any verification coverage";
+    }
+    else if ( result.status != flow_status::timed_out )
+    {
+      result.status = flow_status::degraded;
+      result.status_detail = "partial verification coverage: " +
+                             std::to_string( result.verify_samples_completed ) + "/" +
+                             std::to_string( result.verify_samples_requested ) + " assignments";
+    }
+  }
+  else if ( result.verify_downgraded && result.verified_with == verify_mode::sampled &&
+            result.status == flow_status::ok )
+  {
+    result.status = flow_status::degraded;
+    result.status_detail = "sat verify budget exhausted; downgraded to sampled";
+  }
+}
+
 flow_result run_flow_staged( const aig_network& aig, const flow_params& params,
                              flow_artifact_cache& cache )
 {
@@ -675,11 +713,7 @@ flow_result run_flow_staged( const aig_network& aig, const flow_params& params,
     // `verified_with` is assigned by the branch that actually produces the
     // verdict, so a downgraded SAT tier reports the fallback tier.
     const auto record_report = [&result]( const partial_verify_report& report ) {
-      result.counterexample = report.counterexample;
-      result.verify_complete = report.complete;
-      result.verify_samples_requested = report.assignments_requested;
-      result.verify_samples_completed = report.assignments_completed;
-      result.verified = report.complete && !report.counterexample.has_value();
+      record_sim_verify_report( result, report );
     };
     switch ( mode )
     {
@@ -687,15 +721,22 @@ flow_result run_flow_staged( const aig_network& aig, const flow_params& params,
       break;
     case verify_mode::sampled:
     case verify_mode::exhaustive:
-      result.verified_with = mode;
       if ( verify_outputs )
       {
         // The functional flow checks against its collapsed truth tables —
         // block-driven full enumeration, so sampled == exhaustive here.
+        result.verified_with = mode;
         result.verified = verify_against_truth_tables( result.circuit, *verify_outputs );
+      }
+      else if ( params.defer_sim_verify )
+      {
+        // The sweep engine owns this check: one wide cross-circuit batched
+        // pass over the whole frontier replaces the per-configuration pass
+        // (`verified_with` stays `none` until the batch report lands).
       }
       else
       {
+        result.verified_with = mode;
         record_report( mode == verify_mode::sampled
                            ? verify_against_aig_sampled_budgeted( result.circuit, optimized, stop )
                            : verify_against_aig_exhaustive_budgeted( result.circuit, optimized,
@@ -752,36 +793,13 @@ flow_result run_flow_staged( const aig_network& aig, const flow_params& params,
     }
     result.verify_seconds = verify_watch.elapsed_seconds();
 
-    // Status accounting of the verification phase.  A counterexample is a
-    // definitive verdict regardless of coverage; without one, partial
-    // coverage degrades the result (or times it out when nothing ran),
-    // and a downgrade to a weaker-than-requested tier is itself a
-    // degradation even at full coverage (an exhaustive fallback proof is
-    // as strong as the requested SAT proof, so it stays `ok`).
-    if ( !result.counterexample.has_value() )
+    // Status accounting of the verification phase (an exhaustive fallback
+    // proof is as strong as the requested SAT proof, so it stays `ok`).
+    // A deferred check skips this too — the fields are all defaults — and
+    // the sweep engine finalizes after its batch pass.
+    if ( !( params.defer_sim_verify && result.verified_with == verify_mode::none ) )
     {
-      if ( !result.verify_complete )
-      {
-        if ( result.verify_samples_completed == 0 )
-        {
-          result.status = flow_status::timed_out;
-          result.status_detail = "deadline expired before any verification coverage";
-        }
-        else if ( result.status != flow_status::timed_out )
-        {
-          result.status = flow_status::degraded;
-          result.status_detail = "partial verification coverage: " +
-                                 std::to_string( result.verify_samples_completed ) + "/" +
-                                 std::to_string( result.verify_samples_requested ) +
-                                 " assignments";
-        }
-      }
-      else if ( result.verify_downgraded && result.verified_with == verify_mode::sampled &&
-                result.status == flow_status::ok )
-      {
-        result.status = flow_status::degraded;
-        result.status_detail = "sat verify budget exhausted; downgraded to sampled";
-      }
+      finalize_verify_status( result );
     }
   }
   return result;

@@ -50,6 +50,48 @@ std::uint64_t diff_word( const std::vector<std::uint64_t>& a, const std::vector<
   return diff;
 }
 
+/// Fills one lane group per input for the `W` consecutive counter blocks
+/// starting at `blk0` (word k of input i covers assignments
+/// `(blk0 + k) * 64 .. + 63`): the low six variables cycle through the
+/// projection patterns in every word, the higher ones broadcast the
+/// corresponding bit of the word's block index.
+void fill_counter_wide( unsigned num_inputs, std::uint64_t blk0, unsigned W,
+                        std::vector<std::uint64_t>& words )
+{
+  for ( unsigned i = 0; i < num_inputs; ++i )
+  {
+    for ( unsigned k = 0; k < W; ++k )
+    {
+      words[std::size_t{ i } * W + k] =
+          i < 6u ? projections[i] : ( ( ( blk0 + k ) >> ( i - 6u ) ) & 1u ) ? all_ones : 0u;
+    }
+  }
+}
+
+/// Unpacks assignment lane `j` of word `k` of a grouped input batch.
+std::vector<bool> unpack_wide_lane( const std::vector<std::uint64_t>& words, unsigned W,
+                                    unsigned k, unsigned j )
+{
+  std::vector<bool> assignment( words.size() / W );
+  for ( std::size_t i = 0; i < assignment.size(); ++i )
+  {
+    assignment[i] = ( words[i * W + k] >> j ) & 1u;
+  }
+  return assignment;
+}
+
+/// OR of the per-output differences in word `k` of two grouped results.
+std::uint64_t diff_word_wide( const std::vector<std::uint64_t>& a,
+                              const std::vector<std::uint64_t>& b, unsigned W, unsigned k )
+{
+  std::uint64_t diff = 0;
+  for ( std::size_t o = 0; o < a.size() / W; ++o )
+  {
+    diff |= a[o * W + k] ^ b[o * W + k];
+  }
+  return diff;
+}
+
 } // namespace
 
 std::vector<std::uint32_t> input_lines_of( const reversible_circuit& circuit )
@@ -172,12 +214,14 @@ std::vector<std::uint64_t> evaluate_circuit_block( const reversible_circuit& cir
 bool verify_against_truth_tables( const reversible_circuit& circuit,
                                   const std::vector<truth_table>& outputs )
 {
-  block_simulator sim( circuit );
-  const auto num_inputs = static_cast<unsigned>( sim.input_lines().size() );
+  const auto num_inputs = static_cast<unsigned>( input_lines_of( circuit ).size() );
   if ( num_inputs > 24u )
   {
     throw std::invalid_argument( "verify_against_truth_tables: too many inputs" );
   }
+  const auto width = auto_sim_width( std::uint64_t{ 1 } << num_inputs );
+  const auto W = words_of( width );
+  wide_simulator sim( circuit, width );
   if ( sim.output_lines().size() != outputs.size() )
   {
     return false;
@@ -190,27 +234,33 @@ bool verify_against_truth_tables( const reversible_circuit& circuit,
     }
   }
   const auto mask = block_mask( num_inputs );
-  std::vector<std::uint64_t> words( num_inputs );
-  for ( std::uint64_t blk = 0; blk < num_blocks_for( num_inputs ); ++blk )
+  const auto num_blocks = num_blocks_for( num_inputs );
+  std::vector<std::uint64_t> words( std::size_t{ num_inputs } * W );
+  for ( std::uint64_t blk = 0; blk < num_blocks; blk += W )
   {
-    fill_counter_block( num_inputs, blk, words );
+    fill_counter_wide( num_inputs, blk, W, words );
     const auto& result = sim.evaluate( words );
     for ( std::size_t o = 0; o < outputs.size(); ++o )
     {
-      // The counter-order batch of block blk is exactly block blk of the
-      // truth table (bit i of index x = value of variable i).
-      if ( ( result[o] ^ outputs[o].blocks()[blk] ) & mask )
+      for ( unsigned k = 0; k < W && blk + k < num_blocks; ++k )
       {
-        return false;
+        // The counter-order batch of block blk+k is exactly block blk+k of
+        // the truth table (bit i of index x = value of variable i).
+        if ( ( result[o * W + k] ^ outputs[o].blocks()[blk + k] ) & mask )
+        {
+          return false;
+        }
       }
     }
   }
   return true;
 }
 
-partial_verify_report verify_against_aig_exhaustive_budgeted( const reversible_circuit& circuit,
-                                                              const aig_network& aig,
-                                                              const deadline& stop )
+// --- the retained 64-bit oracle ---------------------------------------------
+
+partial_verify_report verify_against_aig_exhaustive_block64( const reversible_circuit& circuit,
+                                                             const aig_network& aig,
+                                                             const deadline& stop )
 {
   block_simulator sim( circuit );
   const auto num_pis = aig.num_pis();
@@ -252,17 +302,11 @@ partial_verify_report verify_against_aig_exhaustive_budgeted( const reversible_c
   return report;
 }
 
-std::optional<std::vector<bool>> verify_against_aig_exhaustive( const reversible_circuit& circuit,
-                                                                const aig_network& aig )
-{
-  return verify_against_aig_exhaustive_budgeted( circuit, aig, deadline{} ).counterexample;
-}
-
-partial_verify_report verify_against_aig_sampled_budgeted( const reversible_circuit& circuit,
-                                                           const aig_network& aig,
-                                                           const deadline& stop,
-                                                           unsigned num_samples,
-                                                           std::uint64_t seed )
+partial_verify_report verify_against_aig_sampled_block64( const reversible_circuit& circuit,
+                                                          const aig_network& aig,
+                                                          const deadline& stop,
+                                                          unsigned num_samples,
+                                                          std::uint64_t seed )
 {
   const auto num_pis = aig.num_pis();
   // When the whole input space is no larger than the sample budget,
@@ -270,7 +314,7 @@ partial_verify_report verify_against_aig_sampled_budgeted( const reversible_circ
   // vectors and could certify a tiny design without ever covering it.
   if ( num_pis <= 24u && ( std::uint64_t{ 1 } << num_pis ) <= num_samples )
   {
-    return verify_against_aig_exhaustive_budgeted( circuit, aig, stop );
+    return verify_against_aig_exhaustive_block64( circuit, aig, stop );
   }
   block_simulator sim( circuit );
   if ( sim.input_lines().size() != num_pis || sim.output_lines().size() != aig.num_pos() )
@@ -315,6 +359,237 @@ partial_verify_report verify_against_aig_sampled_budgeted( const reversible_circ
   return report;
 }
 
+// --- the wide engine ---------------------------------------------------------
+
+namespace
+{
+
+/// Shared frontier sweep behind the exhaustive tiers: every circuit is
+/// checked against the same spec AIG in one counter-order enumeration, the
+/// spec simulated once per lane group.  Failed candidates retire from the
+/// remaining passes; their reports are already final.  Word-by-word
+/// comparison in block order keeps the first-counterexample contract and
+/// the per-assignment coverage accounting bit-identical to the 64-bit
+/// oracle at every width.
+std::vector<partial_verify_report>
+exhaustive_wide( const std::vector<const reversible_circuit*>& circuits, const aig_network& aig,
+                 const deadline& stop, sim_width width )
+{
+  const auto W = words_of( width );
+  const auto num_pis = aig.num_pis();
+  if ( num_pis > 24u )
+  {
+    throw std::invalid_argument( "verify_against_aig_exhaustive: too many inputs" );
+  }
+  std::vector<wide_simulator> sims;
+  sims.reserve( circuits.size() );
+  for ( const auto* circuit : circuits )
+  {
+    sims.emplace_back( *circuit, width );
+    if ( sims.back().input_lines().size() != num_pis ||
+         sims.back().output_lines().size() != aig.num_pos() )
+    {
+      throw std::invalid_argument( "verify_against_aig_exhaustive: interface mismatch" );
+    }
+  }
+  std::vector<partial_verify_report> reports( circuits.size() );
+  std::vector<char> live( circuits.size(), 1 );
+  auto num_live = circuits.size();
+  for ( auto& report : reports )
+  {
+    report.assignments_requested = std::uint64_t{ 1 } << num_pis;
+  }
+  wide_aig_simulator spec( aig, width );
+  const auto poll_deadline = !stop.unlimited();
+  const auto mask = block_mask( num_pis );
+  const auto num_blocks = num_blocks_for( num_pis );
+  std::vector<std::uint64_t> words( std::size_t{ num_pis } * W );
+  for ( std::uint64_t blk = 0; blk < num_blocks && num_live > 0; blk += W )
+  {
+    if ( poll_deadline && stop.expired() )
+    {
+      for ( std::size_t c = 0; c < reports.size(); ++c )
+      {
+        if ( live[c] )
+        {
+          reports[c].complete = false;
+        }
+      }
+      return reports;
+    }
+    fill_counter_wide( num_pis, blk, W, words );
+    const auto& expected = spec.evaluate( words );
+    for ( std::size_t c = 0; c < sims.size(); ++c )
+    {
+      if ( !live[c] )
+      {
+        continue;
+      }
+      const auto& actual = sims[c].evaluate( words );
+      for ( unsigned k = 0; k < W && blk + k < num_blocks; ++k )
+      {
+        if ( const auto diff = diff_word_wide( expected, actual, W, k ) & mask )
+        {
+          reports[c].counterexample =
+              unpack_wide_lane( words, W, k, static_cast<unsigned>( lsb_index( diff ) ) );
+          reports[c].assignments_completed += lsb_index( diff ) + 1u;
+          live[c] = 0;
+          --num_live;
+          break;
+        }
+        reports[c].assignments_completed += std::min<std::uint64_t>(
+            64u, reports[c].assignments_requested - ( blk + k ) * 64u );
+      }
+    }
+  }
+  return reports;
+}
+
+/// Shared frontier sweep behind the sampled tiers.  The rng stream is
+/// consumed one word per input per 64-lane block, in block order — exactly
+/// the 64-bit oracle's draw order — so every width and batch shape sees
+/// identical patterns.  Lane masking plus per-64-block accounting keeps
+/// `assignments_completed` exact (never rounded up to lane-group
+/// granularity) when the request size is not lane-aligned.
+std::vector<partial_verify_report>
+sampled_wide( const std::vector<const reversible_circuit*>& circuits, const aig_network& aig,
+              const deadline& stop, unsigned num_samples, std::uint64_t seed, sim_width width )
+{
+  const auto num_pis = aig.num_pis();
+  // When the whole input space is no larger than the sample budget,
+  // enumerate it exhaustively: random sampling would draw duplicate
+  // vectors and could certify a tiny design without ever covering it.
+  if ( num_pis <= 24u && ( std::uint64_t{ 1 } << num_pis ) <= num_samples )
+  {
+    return exhaustive_wide( circuits, aig, stop, width );
+  }
+  const auto W = words_of( width );
+  std::vector<wide_simulator> sims;
+  sims.reserve( circuits.size() );
+  for ( const auto* circuit : circuits )
+  {
+    sims.emplace_back( *circuit, width );
+    if ( sims.back().input_lines().size() != num_pis ||
+         sims.back().output_lines().size() != aig.num_pos() )
+    {
+      throw std::invalid_argument( "verify_against_aig_sampled: interface mismatch" );
+    }
+  }
+  std::mt19937_64 rng( seed );
+  const std::uint64_t total = std::uint64_t{ num_samples } + 2u;
+  std::vector<partial_verify_report> reports( circuits.size() );
+  std::vector<char> live( circuits.size(), 1 );
+  auto num_live = circuits.size();
+  for ( auto& report : reports )
+  {
+    report.assignments_requested = total;
+  }
+  wide_aig_simulator spec( aig, width );
+  const auto poll_deadline = !stop.unlimited();
+  std::vector<std::uint64_t> words( std::size_t{ num_pis } * W );
+  for ( std::uint64_t base = 0; base < total && num_live > 0; base += std::uint64_t{ 64 } * W )
+  {
+    if ( poll_deadline && stop.expired() )
+    {
+      for ( std::size_t c = 0; c < reports.size(); ++c )
+      {
+        if ( live[c] )
+        {
+          reports[c].complete = false;
+        }
+      }
+      return reports;
+    }
+    // One rng word per input per 64-lane block = 64 independent random
+    // assignments per word; words past the request stay zero (masked out)
+    // without consuming the stream.  The first block pins lane 0 to
+    // all-zero and lane 1 to all-one.
+    for ( unsigned k = 0; k < W; ++k )
+    {
+      const auto covered = base + std::uint64_t{ 64 } * k < total;
+      for ( unsigned i = 0; i < num_pis; ++i )
+      {
+        auto w = covered ? rng() : 0u;
+        if ( covered && base == 0 && k == 0 )
+        {
+          w = ( w & ~std::uint64_t{ 3 } ) | 2u;
+        }
+        words[std::size_t{ i } * W + k] = w;
+      }
+    }
+    const auto& expected = spec.evaluate( words );
+    for ( std::size_t c = 0; c < sims.size(); ++c )
+    {
+      if ( !live[c] )
+      {
+        continue;
+      }
+      const auto& actual = sims[c].evaluate( words );
+      for ( unsigned k = 0; k < W && base + std::uint64_t{ 64 } * k < total; ++k )
+      {
+        const auto lanes = std::min<std::uint64_t>( 64u, total - ( base + std::uint64_t{ 64 } * k ) );
+        const auto lane_mask = lanes == 64u ? all_ones : ( std::uint64_t{ 1 } << lanes ) - 1u;
+        if ( const auto diff = diff_word_wide( expected, actual, W, k ) & lane_mask )
+        {
+          reports[c].counterexample =
+              unpack_wide_lane( words, W, k, static_cast<unsigned>( lsb_index( diff ) ) );
+          reports[c].assignments_completed += lsb_index( diff ) + 1u;
+          live[c] = 0;
+          --num_live;
+          break;
+        }
+        reports[c].assignments_completed += lanes;
+      }
+    }
+  }
+  return reports;
+}
+
+} // namespace
+
+partial_verify_report verify_against_aig_exhaustive_budgeted( const reversible_circuit& circuit,
+                                                              const aig_network& aig,
+                                                              const deadline& stop,
+                                                              sim_width width )
+{
+  return exhaustive_wide( { &circuit }, aig, stop, width ).front();
+}
+
+partial_verify_report verify_against_aig_exhaustive_budgeted( const reversible_circuit& circuit,
+                                                              const aig_network& aig,
+                                                              const deadline& stop )
+{
+  const auto num_pis = aig.num_pis();
+  const auto width =
+      num_pis > 24u ? sim_width::w512 : auto_sim_width( std::uint64_t{ 1 } << num_pis );
+  return verify_against_aig_exhaustive_budgeted( circuit, aig, stop, width );
+}
+
+std::optional<std::vector<bool>> verify_against_aig_exhaustive( const reversible_circuit& circuit,
+                                                                const aig_network& aig )
+{
+  return verify_against_aig_exhaustive_budgeted( circuit, aig, deadline{} ).counterexample;
+}
+
+partial_verify_report verify_against_aig_sampled_budgeted( const reversible_circuit& circuit,
+                                                           const aig_network& aig,
+                                                           const deadline& stop,
+                                                           unsigned num_samples,
+                                                           std::uint64_t seed, sim_width width )
+{
+  return sampled_wide( { &circuit }, aig, stop, num_samples, seed, width ).front();
+}
+
+partial_verify_report verify_against_aig_sampled_budgeted( const reversible_circuit& circuit,
+                                                           const aig_network& aig,
+                                                           const deadline& stop,
+                                                           unsigned num_samples,
+                                                           std::uint64_t seed )
+{
+  return verify_against_aig_sampled_budgeted( circuit, aig, stop, num_samples, seed,
+                                              auto_sim_width( std::uint64_t{ num_samples } + 2u ) );
+}
+
 std::optional<std::vector<bool>> verify_against_aig_sampled( const reversible_circuit& circuit,
                                                              const aig_network& aig,
                                                              unsigned num_samples,
@@ -322,6 +597,23 @@ std::optional<std::vector<bool>> verify_against_aig_sampled( const reversible_ci
 {
   return verify_against_aig_sampled_budgeted( circuit, aig, deadline{}, num_samples, seed )
       .counterexample;
+}
+
+std::vector<partial_verify_report>
+verify_batch_against_aig_exhaustive_budgeted( const std::vector<const reversible_circuit*>& circuits,
+                                              const aig_network& aig, const deadline& stop,
+                                              sim_width width )
+{
+  return exhaustive_wide( circuits, aig, stop, width );
+}
+
+std::vector<partial_verify_report>
+verify_batch_against_aig_sampled_budgeted( const std::vector<const reversible_circuit*>& circuits,
+                                           const aig_network& aig, const deadline& stop,
+                                           unsigned num_samples, std::uint64_t seed,
+                                           sim_width width )
+{
+  return sampled_wide( circuits, aig, stop, num_samples, seed, width );
 }
 
 // --- SAT tier ----------------------------------------------------------------

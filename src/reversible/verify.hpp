@@ -12,11 +12,15 @@
 ///     engine (`qsyn::sat::incremental_cec`: shared structural hashing,
 ///     per-output miters under assumptions, simulation-guided fraiging); a
 ///     proof at any width, and reusable across a sweep's configurations.
-/// The simulation tiers share one engine: `evaluate_circuit_block` packs 64
-/// input assignments into one `std::uint64_t` word per circuit line and
-/// sweeps every gate over whole words — the Toffoli control conjunction is
-/// a word AND, the target update a word XOR — so one pass over the gate
-/// list settles 64 assignments at once.
+/// The simulation tiers share one engine family (wide_sim.hpp): a lane
+/// group of 1, 4, or 8 `std::uint64_t` words per circuit line packs 64–512
+/// input assignments, and every gate sweeps whole groups — the Toffoli
+/// control conjunction is a group AND, the target update a group XOR — so
+/// one pass over the gate list settles up to 512 assignments at once
+/// (portable unrolled lanes by default, AVX2/AVX-512 words when compiled
+/// in and the CPU agrees).  The original 64-bit `block_simulator` is
+/// retained as the differential oracle (`*_block64` tiers below); every
+/// width is bit-identical to it by contract.
 ///
 /// Conventions: input variable i lives on the i-th line flagged
 /// `is_primary_input` (in line order); constant ancillae carry
@@ -34,6 +38,7 @@
 #include "../logic/aig.hpp"
 #include "../logic/truth_table.hpp"
 #include "circuit.hpp"
+#include "wide_sim.hpp"
 
 namespace qsyn
 {
@@ -124,21 +129,77 @@ struct partial_verify_report
 };
 
 /// `verify_against_aig_exhaustive` with a cooperative deadline, polled once
-/// per 64-assignment block.  With an unlimited deadline the result is
-/// identical to the unbudgeted tier.
+/// per lane-group pass.  With an unlimited deadline the result is identical
+/// to the unbudgeted tier.  The default overload picks the smallest
+/// `sim_width` covering 2^inputs; the explicit-width overload exists for
+/// the differential harness — verdict, counterexample, and
+/// `assignments_completed` are bit-identical at every width.
 partial_verify_report verify_against_aig_exhaustive_budgeted( const reversible_circuit& circuit,
                                                               const aig_network& aig,
                                                               const deadline& stop );
+partial_verify_report verify_against_aig_exhaustive_budgeted( const reversible_circuit& circuit,
+                                                              const aig_network& aig,
+                                                              const deadline& stop,
+                                                              sim_width width );
 
 /// `verify_against_aig_sampled` with a cooperative deadline, polled once
-/// per 64-sample block (the small-design exhaustive delegation applies
+/// per lane-group pass (the small-design exhaustive delegation applies
 /// unchanged).  With an unlimited deadline the result is identical to the
-/// unbudgeted tier.
+/// unbudgeted tier.  The rng stream is consumed in 64-lane block order
+/// regardless of width, so every width draws identical patterns and the
+/// report — verdict, counterexample, `assignments_completed`, with no
+/// double-counting when `num_samples + 2` is not lane-aligned — is
+/// bit-identical across widths.
 partial_verify_report verify_against_aig_sampled_budgeted( const reversible_circuit& circuit,
                                                            const aig_network& aig,
                                                            const deadline& stop,
                                                            unsigned num_samples = 256,
                                                            std::uint64_t seed = 1 );
+partial_verify_report verify_against_aig_sampled_budgeted( const reversible_circuit& circuit,
+                                                           const aig_network& aig,
+                                                           const deadline& stop,
+                                                           unsigned num_samples,
+                                                           std::uint64_t seed, sim_width width );
+
+/// The retained 64-bit scalar engines (`block_simulator` +
+/// `aig_network::simulate_patterns`, one 64-assignment block per pass) —
+/// the differential oracle every wide path is pinned against in
+/// tests/test_verify.cpp and the baseline `bench_verify` measures wide
+/// speedups over.  Same contract as the corresponding `_budgeted` tiers.
+partial_verify_report verify_against_aig_exhaustive_block64( const reversible_circuit& circuit,
+                                                             const aig_network& aig,
+                                                             const deadline& stop );
+partial_verify_report verify_against_aig_sampled_block64( const reversible_circuit& circuit,
+                                                          const aig_network& aig,
+                                                          const deadline& stop,
+                                                          unsigned num_samples = 256,
+                                                          std::uint64_t seed = 1 );
+
+/// Cross-circuit batched verification of one sweep frontier: checks every
+/// candidate circuit against the same specification AIG in a single
+/// counter-order sweep, walking the spec once per lane group instead of
+/// once per candidate (`wide_aig_simulator` persists its node values
+/// across the whole frontier).  Candidates that already failed drop out of
+/// the remaining passes.  Each returned report is bit-identical to the
+/// corresponding individual `verify_against_aig_exhaustive_budgeted` call
+/// at the same width (deadline expiry aside: the batch polls one shared
+/// deadline and marks every still-running candidate partial).  Null
+/// pointers are not allowed; every circuit must match the AIG's interface.
+std::vector<partial_verify_report>
+verify_batch_against_aig_exhaustive_budgeted( const std::vector<const reversible_circuit*>& circuits,
+                                              const aig_network& aig, const deadline& stop,
+                                              sim_width width );
+
+/// Batched counterpart of `verify_against_aig_sampled_budgeted`: one
+/// random-pattern stream drives the whole frontier (the per-candidate
+/// reports are bit-identical to individual sampled calls with the same
+/// seed and width).  The small-design exhaustive delegation applies to the
+/// whole batch at once.
+std::vector<partial_verify_report>
+verify_batch_against_aig_sampled_budgeted( const std::vector<const reversible_circuit*>& circuits,
+                                           const aig_network& aig, const deadline& stop,
+                                           unsigned num_samples, std::uint64_t seed,
+                                           sim_width width );
 
 /// Extracts the function computed by the circuit as an AIG: one PI per
 /// primary-input line (in input order), one PO per output index.  Constant

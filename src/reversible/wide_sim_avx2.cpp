@@ -1,0 +1,57 @@
+/// \file wide_sim_avx2.cpp
+/// \brief AVX2 lane-group kernels: one 256-bit word per w256 group, a pair
+/// per w512 group.
+///
+/// Compiled with `-mavx2` only when CMake's `QSYN_SIMD` option enables the
+/// backend (the define doubles as the gate so a portable build, whose
+/// compiler flags would reject the intrinsics, skips this TU's body
+/// entirely).  The dispatcher still checks cpuid before routing here.
+
+#if defined( QSYN_HAVE_AVX2 )
+
+#include <immintrin.h>
+
+#include "wide_sim.hpp"
+#include "wide_sim_kernels.hpp"
+
+namespace qsyn::wide_detail
+{
+
+namespace
+{
+
+struct avx2_ops4
+{
+  static constexpr unsigned words = 4;
+  using vec = __m256i;
+
+  static vec load( const std::uint64_t* p )
+  {
+    return _mm256_loadu_si256( reinterpret_cast<const __m256i*>( p ) );
+  }
+  static void store( std::uint64_t* p, vec v )
+  {
+    _mm256_storeu_si256( reinterpret_cast<__m256i*>( p ), v );
+  }
+  static vec broadcast( std::uint64_t x )
+  {
+    return _mm256_set1_epi64x( static_cast<long long>( x ) );
+  }
+  static vec ones() { return _mm256_set1_epi64x( -1 ); }
+  static vec band( vec a, vec b ) { return _mm256_and_si256( a, b ); }
+  static vec bxor( vec a, vec b ) { return _mm256_xor_si256( a, b ); }
+  static vec and_xor( vec acc, vec v, vec m ) { return band( acc, bxor( v, m ) ); }
+};
+
+using avx2_ops8 = paired_ops<avx2_ops4>;
+
+} // namespace
+
+kernel_table avx2_table( unsigned words )
+{
+  return words == 8u ? table_of<avx2_ops8>() : table_of<avx2_ops4>();
+}
+
+} // namespace qsyn::wide_detail
+
+#endif // QSYN_HAVE_AVX2

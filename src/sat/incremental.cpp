@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "../common/bits.hpp"
+#include "../reversible/wide_sim.hpp"
 
 namespace qsyn::sat
 {
@@ -244,16 +245,21 @@ bool incremental_cec::try_full_simulation( unsigned num_pis,
 {
   // Raw structural simulation (no class lookups): nodes_ is topologically
   // ordered by construction, so one linear pass over the marked cone
-  // computes every node's 64-word block.  Column c of the block carries
+  // computes every node's word block.  Column c of the block carries
   // input assignment x_i = (c >> i) & 1 — for i < 6 that is the canonical
   // projection pattern within each word, for i >= 6 bit (i - 6) of the
-  // word index — so 4096 columns cover all assignments of up to 12 PIs
-  // exhaustively, and a differing column IS a real counterexample.
-  constexpr unsigned words_per_node = 64;
-  if ( num_pis > 12u )
+  // word index — so 2^pis columns cover all assignments exhaustively, and
+  // a differing column IS a real counterexample.  The block is sized to
+  // the cone (one word up to 6 PIs, 256 words at the 14-PI ceiling) and
+  // each node evaluates through the SIMD-wide AND kernel
+  // (`simd_and2_masked`), which is what lifts the historical 12-PI clamp:
+  // the wider blocks cost the same wall clock per word as the scalar loop
+  // did at 64 words.
+  if ( num_pis > 14u )
   {
     return false;
   }
+  const unsigned words_per_node = num_blocks_for( num_pis );
 
   // Mark the union cone of all output pairs, assigning each marked node a
   // compact arena slot — the persistent store grows across a sweep's
@@ -293,7 +299,7 @@ bool incremental_cec::try_full_simulation( unsigned num_pis,
   const auto block_of = [&]( std::uint32_t n ) {
     return blocks.data() + static_cast<std::size_t>( slot[n] ) * words_per_node;
   };
-  for ( std::size_t i = 0; i < pi_nodes_.size() && i < 12u; ++i )
+  for ( std::size_t i = 0; i < pi_nodes_.size() && i < 14u; ++i )
   {
     if ( slot[pi_nodes_[i]] == unmarked )
     {
@@ -319,10 +325,7 @@ bool incremental_cec::try_full_simulation( unsigned num_pis,
     auto* bn = block_of( n );
     const std::uint64_t m0 = ( f0 & 1u ) ? ~std::uint64_t{ 0 } : 0u;
     const std::uint64_t m1 = ( f1 & 1u ) ? ~std::uint64_t{ 0 } : 0u;
-    for ( unsigned j = 0; j < words_per_node; ++j )
-    {
-      bn[j] = ( b0[j] ^ m0 ) & ( b1[j] ^ m1 );
-    }
+    simd_and2_masked( bn, b0, m0, b1, m1, words_per_node );
   }
 
   out.equivalent = true;
@@ -510,10 +513,8 @@ bool incremental_cec::window_proves_equal( ilit a, ilit b, unsigned depth_cap,
         const std::uint64_t m0 = ( r0 & 1u ) ? ~std::uint64_t{ 0 } : 0u;
         const std::uint64_t m1 = ( r1 & 1u ) ? ~std::uint64_t{ 0 } : 0u;
         arena.resize( arena.size() + words_per_node );
-        for ( unsigned j = 0; j < words_per_node; ++j )
-        {
-          arena[off + j] = ( arena[o0 + j] ^ m0 ) & ( arena[o1 + j] ^ m1 );
-        }
+        simd_and2_masked( arena.data() + off, arena.data() + o0, m0, arena.data() + o1, m1,
+                          words_per_node );
       }
       else if ( n == 0u )
       {
@@ -738,11 +739,11 @@ cec_outcome incremental_cec::check( const aig_network& a, const aig_network& b,
   const auto fresh_nodes = nodes_.size() - nodes_before;
   // Narrow designs are decided wholesale by the bit-parallel simulation
   // pass below; fraig hints only pay off when the solver will run.  The
-  // 12-PI clamp is the 4096-column capacity of the window — values above
-  // it in the option must not widen the gate (the sim pass would bail and
-  // the check would fall through undecided).
+  // 14-PI clamp is the capacity of `try_full_simulation`'s SIMD-wide
+  // blocks — values above it in the option must not widen the gate (the
+  // sim pass would bail and the check would fall through undecided).
   const bool narrow =
-      a.num_pis() <= std::min( options_.output_window_max_pis, 12u );
+      a.num_pis() <= std::min( options_.output_window_max_pis, 14u );
   if ( options_.fraiging && !narrow )
   {
     run_fraig();

@@ -96,12 +96,13 @@ struct cec_options
   /// hint overhead; surplus candidates stay queued for later checks).
   std::size_t max_fraig_candidates = 2048;
   /// Discharge output miters of designs with at most this many primary
-  /// inputs by an *uncapped* window evaluation: with the whole cone
-  /// expanded the frontier is the input cube, 64 words enumerate all
-  /// 2^pis <= 4096 assignments, and the pair is proven (or left to the
-  /// solver) after one bit-parallel pass over the union cone.  12 is the
-  /// hard ceiling (4096 window columns) and larger values are clamped to
-  /// it; lower it to force the solver path, e.g. in tests.
+  /// inputs by an exhaustive bit-parallel simulation pass over the union
+  /// cone (`try_full_simulation`): SIMD-wide blocks sized to 2^pis
+  /// enumerate every assignment, and all output pairs are proven or
+  /// refuted at once without the solver.  14 is the hard ceiling (256
+  /// words per node) and larger values are clamped to it; the default
+  /// stays 12 — the historical gate — so raising to 13/14 is an explicit
+  /// opt-in; lower it to force the solver path, e.g. in tests.
   unsigned output_window_max_pis = 12;
   /// Restrict solver decisions to primary-input (and miter-auxiliary)
   /// variables.  Sound either way (Tseitin cones propagate completely
@@ -243,8 +244,9 @@ private:
   /// exhaustive proof of the whole output pair.
   bool window_proves_equal( ilit a, ilit b, unsigned depth_cap, std::size_t node_cap );
   /// Narrow-design fast path: one linear, bit-parallel simulation pass over
-  /// the raw output cones enumerates all 2^pis <= 4096 input assignments
-  /// (64 words x 64 bits of projection patterns) and decides EVERY output
+  /// the raw output cones enumerates all 2^pis <= 16384 input assignments
+  /// (up to 256 words of projection patterns per node, evaluated through
+  /// the SIMD-wide AND kernel) and decides EVERY output
   /// pair of the check at once — proofs are recorded as permanent
   /// equalities, a difference yields the lowest-indexed failing output and
   /// its lowest distinguishing input column as the counterexample.

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <random>
 
 #include "sat/cnf.hpp"
@@ -590,4 +591,181 @@ TEST( incremental, mixed_interface_sizes_on_one_engine )
   expect_matches_brute_force( engine.check( small_a, small_b ), small_a, small_b, "small" );
   expect_matches_brute_force( engine.check( wide_a, wide_b ), wide_a, wide_b, "wide" );
   expect_matches_brute_force( engine.check( small_a, small_a ), small_a, small_a, "repeat" );
+}
+
+// --- signature quality and the widened simulation pass -----------------------
+//
+// Satellite of the SIMD-wide engine: fraig signature words are the same
+// 64-bit pattern blocks the wide simulator batches, so their
+// discrimination quality (false-candidate rate), the refinement loop, and
+// the widened exhaustive pass are pinned here at several widths.
+
+namespace
+{
+
+/// Runs the same deterministic >12-PI instance sequence through one
+/// persistent engine configured with `num_sig_words` signature words and
+/// returns the engine's cumulative statistics.  Verdicts are checked
+/// against brute force on every instance, so any width that changed a
+/// verdict fails loudly before the stats comparison.
+sat::cec_stats run_fraig_sequence( unsigned num_sig_words )
+{
+  sat::cec_options options;
+  options.num_sig_words = num_sig_words;
+  options.fraig_conflict_budget = 50; // SAT-backed candidates + cex refinement
+  sat::incremental_cec engine( options );
+  std::mt19937_64 rng( 9001 ); // same instances at every width
+  for ( int instance = 0; instance < 6; ++instance )
+  {
+    const unsigned num_pis = 13; // > 12: the sim fast path bails, fraig runs
+    const unsigned num_pos = 2u + rng() % 2u;
+    const auto a = random_test_aig( rng(), num_pis, num_pos, 40 );
+    auto b = ( instance & 1 ) ? random_test_aig( rng(), num_pis, num_pos, 40 ) : a;
+    if ( instance % 3 == 2 )
+    {
+      b.set_po( 0, b.po( 0 ) ^ 1u );
+    }
+    const auto outcome = engine.check( a, b );
+    expect_matches_brute_force( outcome, a, b,
+                                ( "sig words " + std::to_string( num_sig_words ) ).c_str() );
+  }
+  return engine.stats();
+}
+
+} // namespace
+
+TEST( incremental_signatures, false_candidate_rate_shrinks_with_wider_signatures )
+{
+  // A fraig candidate is a signature-equal node pair; a candidate that is
+  // refuted (or only survives until a counterexample splits its class) was
+  // a signature collision.  More signature words = more simulation
+  // patterns backing the hint, so the collision share must not grow — and
+  // the verdicts (checked against brute force inside the sequence) must be
+  // identical at 1, 4, and 8 words.
+  const auto s1 = run_fraig_sequence( 1 );
+  const auto s4 = run_fraig_sequence( 4 );
+  const auto s8 = run_fraig_sequence( 8 );
+
+  // The sequences prove the same output pairs however the hints land.
+  EXPECT_EQ( s1.checks, s8.checks );
+  EXPECT_EQ( s1.structural_outputs + s1.sat_proven_outputs,
+             s8.structural_outputs + s8.sat_proven_outputs );
+
+  const auto false_candidates = []( const sat::cec_stats& s ) {
+    return s.fraig_candidates - s.fraig_merges;
+  };
+  // Wider signatures filter candidate pairs at least as well (deterministic
+  // pattern streams make these exact counts, not flaky averages).
+  EXPECT_LE( false_candidates( s8 ), false_candidates( s1 ) );
+  EXPECT_LE( false_candidates( s4 ), false_candidates( s1 ) );
+  // One word is weak enough to produce collisions here — otherwise this
+  // test stops measuring anything.
+  EXPECT_GT( false_candidates( s1 ), 0u );
+}
+
+TEST( incremental_signatures, refinement_converges_identically_wide_and_narrow )
+{
+  // Counterexample-guided refinement folds cex patterns into a signature
+  // word and rebuilds the classes.  However many words the signatures have
+  // (1 = every refinement overwrites the only word, 8 = a rotating slot),
+  // the refined engine must converge to the same verdicts as a fresh
+  // engine per check — refinement is a hint-quality loop, never a
+  // soundness ingredient.
+  for ( const unsigned num_sig_words : { 1u, 4u, 8u } )
+  {
+    sat::cec_options options;
+    options.num_sig_words = num_sig_words;
+    options.fraig_conflict_budget = 40;
+    sat::incremental_cec persistent( options );
+    std::mt19937_64 rng( 733 );
+    for ( int round = 0; round < 5; ++round )
+    {
+      const unsigned num_pis = 13;
+      const auto a = random_test_aig( rng(), num_pis, 2, 36 );
+      auto b = ( round & 1 ) ? random_test_aig( rng(), num_pis, 2, 36 ) : a;
+      const auto reused = persistent.check( a, b );
+      sat::incremental_cec fresh( options );
+      const auto baseline = fresh.check( a, b );
+      EXPECT_EQ( reused.equivalent, baseline.equivalent )
+          << "words " << num_sig_words << " round " << round;
+      EXPECT_EQ( reused.failing_output, baseline.failing_output )
+          << "words " << num_sig_words << " round " << round;
+      expect_matches_brute_force( reused, a, b, "refined engine" );
+    }
+  }
+}
+
+TEST( incremental_signatures, engine_reuse_verdicts_pinned_across_widths )
+{
+  // Three persistent engines — one per signature width — fed the same
+  // check sequence must report identical verdicts and failing outputs on
+  // every round: signature width is a hint parameter, the verdict contract
+  // does not move with it.
+  std::vector<std::unique_ptr<sat::incremental_cec>> engines;
+  for ( const unsigned words : { 1u, 4u, 8u } )
+  {
+    sat::cec_options options;
+    options.num_sig_words = words;
+    options.fraig_conflict_budget = 50;
+    engines.push_back( std::make_unique<sat::incremental_cec>( options ) );
+  }
+  std::mt19937_64 rng( 839 );
+  for ( int round = 0; round < 6; ++round )
+  {
+    const unsigned num_pis = 13;
+    const unsigned num_pos = 1u + rng() % 3u;
+    const auto a = random_test_aig( rng(), num_pis, num_pos, 32 );
+    auto b = ( round % 3 == 0 ) ? random_test_aig( rng(), num_pis, num_pos, 32 ) : a;
+    if ( round % 3 == 1 )
+    {
+      b.set_po( static_cast<unsigned>( rng() % num_pos ), b.po( 0 ) ^ 1u );
+    }
+    const auto first = engines[0]->check( a, b );
+    expect_matches_brute_force( first, a, b, "width 1" );
+    for ( std::size_t e = 1; e < engines.size(); ++e )
+    {
+      const auto other = engines[e]->check( a, b );
+      EXPECT_EQ( other.equivalent, first.equivalent ) << "round " << round << " engine " << e;
+      EXPECT_EQ( other.failing_output, first.failing_output )
+          << "round " << round << " engine " << e;
+      // Counterexamples come from solver models, which legitimately differ
+      // with the hint width — each must round-trip, not match verbatim.
+      if ( !other.equivalent )
+      {
+        ASSERT_TRUE( other.counterexample.has_value() ) << "round " << round << " engine " << e;
+        EXPECT_NE( a.evaluate( *other.counterexample )[*other.failing_output],
+                   b.evaluate( *other.counterexample )[*other.failing_output] )
+            << "round " << round << " engine " << e;
+      }
+    }
+  }
+}
+
+TEST( incremental_signatures, widened_simulation_pass_decides_13_and_14_pi_designs )
+{
+  // Opting `output_window_max_pis` up to 14 routes 13- and 14-PI checks
+  // through the widened exhaustive simulation pass (SIMD-wide blocks, no
+  // solver): verdicts, failing outputs, and counterexamples must match
+  // brute force, and the solver must never have been consulted.
+  for ( const unsigned num_pis : { 13u, 14u } )
+  {
+    sat::cec_options options;
+    options.output_window_max_pis = 14;
+    sat::incremental_cec engine( options );
+    std::mt19937_64 rng( 1000 + num_pis );
+    for ( int instance = 0; instance < 4; ++instance )
+    {
+      const unsigned num_pos = 1u + rng() % 3u;
+      const auto a = random_test_aig( rng(), num_pis, num_pos, 30 );
+      auto b = ( instance & 1 ) ? random_test_aig( rng(), num_pis, num_pos, 30 ) : a;
+      if ( instance == 2 )
+      {
+        b.set_po( 0, b.po( 0 ) ^ 1u );
+      }
+      const auto outcome = engine.check( a, b );
+      expect_matches_brute_force( outcome, a, b, "widened sim pass" );
+    }
+    EXPECT_EQ( engine.stats().solver_conflicts, 0u ) << num_pis;
+    EXPECT_EQ( engine.stats().sat_proven_outputs, 0u ) << num_pis;
+  }
 }

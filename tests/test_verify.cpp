@@ -413,3 +413,285 @@ TEST( verify_sat, interface_mismatch_throws )
   aig.add_po( aig.pi( 0 ) );
   EXPECT_THROW( verify_against_aig_sat( circuit, aig ), std::invalid_argument );
 }
+
+// --- SIMD-wide engine vs. the 64-bit scalar oracle ---------------------------
+//
+// The differential harness of the wide simulation engine: every wide path
+// (all three lane widths, whichever SIMD backend the build dispatches to)
+// is pinned against the retained 64-bit scalar engine — bit-identical
+// verdicts, counterexamples, and coverage accounting, ragged tails and
+// constant ancillae included.
+
+namespace
+{
+
+constexpr sim_width all_widths[] = { sim_width::w64, sim_width::w256, sim_width::w512 };
+
+/// Full report equality: verdict, counterexample, and the per-assignment
+/// coverage accounting must match the oracle exactly.
+void expect_report_equal( const partial_verify_report& got, const partial_verify_report& want,
+                          const std::string& context )
+{
+  EXPECT_EQ( got.counterexample, want.counterexample ) << context;
+  EXPECT_EQ( got.assignments_requested, want.assignments_requested ) << context;
+  EXPECT_EQ( got.assignments_completed, want.assignments_completed ) << context;
+  EXPECT_EQ( got.complete, want.complete ) << context;
+}
+
+/// Corrupts a circuit behind its extracted specification: an extra NOT on
+/// the lowest output line flips that output for every assignment.
+reversible_circuit corrupt_first_output( const reversible_circuit& circuit )
+{
+  auto corrupted = circuit;
+  corrupted.add_not( output_lines_of( circuit ).front() );
+  return corrupted;
+}
+
+} // namespace
+
+TEST( verify_wide, wide_simulator_matches_block_simulator_at_every_width )
+{
+  std::mt19937_64 rng( 211 );
+  for ( int instance = 0; instance < 12; ++instance )
+  {
+    const unsigned num_lines = 3u + rng() % 8u;
+    const unsigned num_inputs = 1u + rng() % num_lines;
+    const auto circuit = random_circuit( rng, num_lines, 1u + rng() % 35u, num_inputs );
+    block_simulator oracle( circuit );
+
+    for ( const auto width : all_widths )
+    {
+      const auto W = words_of( width );
+      wide_simulator sim( circuit, width );
+      ASSERT_EQ( sim.width(), width );
+
+      // One lane group of random assignments, laid out input-major.
+      std::vector<std::vector<std::uint64_t>> blocks( W );
+      std::vector<std::uint64_t> wide_words( std::size_t{ num_inputs } * W );
+      for ( unsigned k = 0; k < W; ++k )
+      {
+        blocks[k].resize( num_inputs );
+        for ( unsigned i = 0; i < num_inputs; ++i )
+        {
+          blocks[k][i] = rng();
+          wide_words[std::size_t{ i } * W + k] = blocks[k][i];
+        }
+      }
+      const auto& wide = sim.evaluate( wide_words );
+      const auto num_outputs = sim.output_lines().size();
+      for ( unsigned k = 0; k < W; ++k )
+      {
+        const auto expected = oracle.evaluate( blocks[k] );
+        ASSERT_EQ( wide.size(), expected.size() * W );
+        for ( std::size_t o = 0; o < num_outputs; ++o )
+        {
+          EXPECT_EQ( wide[o * W + k], expected[o] )
+              << "instance " << instance << " width " << lanes_of( width ) << " word " << k
+              << " output " << o;
+        }
+      }
+    }
+  }
+}
+
+TEST( verify_wide, exhaustive_reports_match_oracle_at_every_width )
+{
+  std::mt19937_64 rng( 223 );
+  // Ragged tails on purpose: 2^3 is a fraction of one word, 2^7 fills two
+  // of a w512 group's eight words, 2^9 is exactly one w512 group.  The
+  // random circuits carry constant ancillae and garbage lines.
+  for ( const unsigned num_inputs : { 3u, 5u, 7u, 9u } )
+  {
+    const auto circuit = random_circuit( rng, num_inputs + 3u, 30u, num_inputs );
+    const auto spec = circuit_to_aig( circuit );
+    const auto corrupted = corrupt_first_output( circuit );
+
+    const auto pass_oracle = verify_against_aig_exhaustive_block64( circuit, spec, deadline{} );
+    EXPECT_FALSE( pass_oracle.counterexample.has_value() ) << num_inputs;
+    EXPECT_EQ( pass_oracle.assignments_completed, std::uint64_t{ 1 } << num_inputs );
+    const auto fail_oracle = verify_against_aig_exhaustive_block64( corrupted, spec, deadline{} );
+    ASSERT_TRUE( fail_oracle.counterexample.has_value() ) << num_inputs;
+
+    for ( const auto width : all_widths )
+    {
+      const auto context =
+          "n=" + std::to_string( num_inputs ) + " width=" + std::to_string( lanes_of( width ) );
+      expect_report_equal( verify_against_aig_exhaustive_budgeted( circuit, spec, deadline{}, width ),
+                           pass_oracle, "pass " + context );
+      expect_report_equal(
+          verify_against_aig_exhaustive_budgeted( corrupted, spec, deadline{}, width ),
+          fail_oracle, "fail " + context );
+    }
+  }
+}
+
+TEST( verify_wide, first_counterexample_is_lowest_column_at_every_width )
+{
+  // Spec = AND of all 7 inputs, circuit = constant 0: the only difference
+  // is the all-one assignment — the LAST column of the space.  Every width
+  // must report exactly it (not an earlier lane of the same wide group)
+  // and count all 128 assignments as covered.
+  const unsigned n = 7;
+  aig_network aig( n );
+  std::vector<aig_lit> pis;
+  for ( unsigned i = 0; i < n; ++i )
+  {
+    pis.push_back( aig.pi( i ) );
+  }
+  aig.add_po( aig.create_nary_and( pis ) );
+
+  reversible_circuit circuit( n + 1u );
+  for ( unsigned l = 0; l < n; ++l )
+  {
+    circuit.line( l ).is_primary_input = true;
+  }
+  circuit.line( n ).is_constant_input = true;
+  circuit.line( n ).output_index = 0;
+  circuit.line( n ).is_garbage = false;
+
+  for ( const auto width : all_widths )
+  {
+    const auto report = verify_against_aig_exhaustive_budgeted( circuit, aig, deadline{}, width );
+    ASSERT_TRUE( report.counterexample.has_value() ) << lanes_of( width );
+    EXPECT_EQ( *report.counterexample, std::vector<bool>( n, true ) ) << lanes_of( width );
+    EXPECT_EQ( report.assignments_completed, 128u ) << lanes_of( width );
+    EXPECT_TRUE( report.complete ) << lanes_of( width );
+  }
+
+  // And the dual: a circuit wrong everywhere fails on column 0 with exactly
+  // one assignment counted, at every width.
+  auto everywhere = circuit;
+  everywhere.add_not( n ); // constant 1 vs AND: differs on all but all-one
+  for ( const auto width : all_widths )
+  {
+    const auto report =
+        verify_against_aig_exhaustive_budgeted( everywhere, aig, deadline{}, width );
+    ASSERT_TRUE( report.counterexample.has_value() ) << lanes_of( width );
+    EXPECT_EQ( *report.counterexample, std::vector<bool>( n, false ) ) << lanes_of( width );
+    EXPECT_EQ( report.assignments_completed, 1u ) << lanes_of( width );
+  }
+}
+
+TEST( verify_wide, sampled_reports_match_oracle_at_every_width )
+{
+  std::mt19937_64 rng( 239 );
+  const unsigned num_inputs = 13; // 2^13 > every budget below: genuine sampling
+  const auto circuit = random_circuit( rng, num_inputs + 3u, 35u, num_inputs );
+  const auto spec = circuit_to_aig( circuit );
+  const auto corrupted = corrupt_first_output( circuit );
+
+  for ( const unsigned num_samples : { 5u, 70u, 250u, 512u } )
+  {
+    for ( const std::uint64_t seed : { 1u, 42u } )
+    {
+      const auto pass_oracle =
+          verify_against_aig_sampled_block64( circuit, spec, deadline{}, num_samples, seed );
+      const auto fail_oracle =
+          verify_against_aig_sampled_block64( corrupted, spec, deadline{}, num_samples, seed );
+      ASSERT_TRUE( fail_oracle.counterexample.has_value() ) << num_samples;
+      for ( const auto width : all_widths )
+      {
+        const auto context = "samples=" + std::to_string( num_samples ) +
+                             " seed=" + std::to_string( seed ) +
+                             " width=" + std::to_string( lanes_of( width ) );
+        expect_report_equal( verify_against_aig_sampled_budgeted( circuit, spec, deadline{},
+                                                                  num_samples, seed, width ),
+                             pass_oracle, "pass " + context );
+        expect_report_equal( verify_against_aig_sampled_budgeted( corrupted, spec, deadline{},
+                                                                  num_samples, seed, width ),
+                             fail_oracle, "fail " + context );
+      }
+    }
+  }
+}
+
+TEST( verify_wide, sampled_accounting_is_exact_for_non_lane_aligned_requests )
+{
+  // Regression: a batched sampler must count per assignment, never round up
+  // to lane-group granularity.  num_samples + 2 (the two pinned extremes)
+  // lands off every lane boundary here — 7, 72, and 252 patterns — and the
+  // completed count must equal the request exactly at every width,
+  // including the widths whose group (256 or 512 lanes) exceeds the whole
+  // request.
+  std::mt19937_64 rng( 241 );
+  const unsigned num_inputs = 12;
+  const auto circuit = random_circuit( rng, num_inputs + 2u, 25u, num_inputs );
+  const auto spec = circuit_to_aig( circuit );
+  for ( const unsigned num_samples : { 5u, 70u, 250u } )
+  {
+    const std::uint64_t total = std::uint64_t{ num_samples } + 2u;
+    for ( const auto width : all_widths )
+    {
+      const auto report = verify_against_aig_sampled_budgeted( circuit, spec, deadline{},
+                                                               num_samples, 17u, width );
+      const auto context = "samples=" + std::to_string( num_samples ) +
+                           " width=" + std::to_string( lanes_of( width ) );
+      EXPECT_FALSE( report.counterexample.has_value() ) << context;
+      EXPECT_TRUE( report.complete ) << context;
+      EXPECT_EQ( report.assignments_requested, total ) << context;
+      EXPECT_EQ( report.assignments_completed, total ) << context;
+    }
+  }
+}
+
+TEST( verify_wide, batch_reports_are_identical_to_individual_calls )
+{
+  std::mt19937_64 rng( 251 );
+  const unsigned num_inputs = 8;
+  const auto circuit = random_circuit( rng, num_inputs + 2u, 30u, num_inputs );
+  const auto spec = circuit_to_aig( circuit );
+  const auto bad_first = corrupt_first_output( circuit );
+  auto bad_later = circuit;
+  // Controlled corruption: fires only when inputs 0..2 are all one, so this
+  // candidate survives several wide passes before failing.
+  bad_later.add_mct( { { 0, true }, { 1, true }, { 2, true } },
+                     output_lines_of( circuit ).front() );
+
+  const std::vector<const reversible_circuit*> frontier = { &circuit, &bad_first, &circuit,
+                                                            &bad_later };
+  for ( const auto width : all_widths )
+  {
+    const auto batch =
+        verify_batch_against_aig_exhaustive_budgeted( frontier, spec, deadline{}, width );
+    ASSERT_EQ( batch.size(), frontier.size() );
+    for ( std::size_t c = 0; c < frontier.size(); ++c )
+    {
+      const auto individual =
+          verify_against_aig_exhaustive_budgeted( *frontier[c], spec, deadline{}, width );
+      expect_report_equal( batch[c], individual,
+                           "exhaustive candidate " + std::to_string( c ) + " width " +
+                               std::to_string( lanes_of( width ) ) );
+    }
+    EXPECT_FALSE( batch[0].counterexample.has_value() );
+    EXPECT_TRUE( batch[1].counterexample.has_value() );
+    EXPECT_TRUE( batch[3].counterexample.has_value() );
+
+    const auto sampled_batch =
+        verify_batch_against_aig_sampled_budgeted( frontier, spec, deadline{}, 100u, 7u, width );
+    ASSERT_EQ( sampled_batch.size(), frontier.size() );
+    for ( std::size_t c = 0; c < frontier.size(); ++c )
+    {
+      const auto individual = verify_against_aig_sampled_budgeted( *frontier[c], spec, deadline{},
+                                                                   100u, 7u, width );
+      expect_report_equal( sampled_batch[c], individual,
+                           "sampled candidate " + std::to_string( c ) + " width " +
+                               std::to_string( lanes_of( width ) ) );
+    }
+  }
+}
+
+TEST( verify_wide, active_backend_is_reported_and_consistent )
+{
+  // Smoke contract of the dispatcher: w64 always runs portably; wider
+  // groups report whichever backend the build + CPU support, and the name
+  // round-trips.  (The verdict identity across backends is enforced by the
+  // cross-build gate in run_bench.sh — within one binary the differential
+  // tests above already ran the dispatched kernels.)
+  EXPECT_EQ( active_simd_backend( sim_width::w64 ), simd_backend::portable );
+  for ( const auto width : all_widths )
+  {
+    const auto backend = active_simd_backend( width );
+    EXPECT_TRUE( simd_backend_compiled( backend ) );
+    EXPECT_NE( std::string( simd_backend_name( backend ) ), "" );
+  }
+}
